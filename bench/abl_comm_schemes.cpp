@@ -1,0 +1,75 @@
+// Ablation: the communication-scheme design choices called out in the
+// paper:
+//   * stencil: in-place halo exchange (two sync rounds) vs double-buffered
+//     boundaries ("Further Optimizations": gains "likely modest");
+//   * matmul: Cannon nearest-neighbour rotation vs SUMMA broadcast
+//     (section VIII names SUMMA as the lower-workspace alternative);
+//   * DMA element width: DWORD vs WORD descriptors (the paper uses 64-bit
+//     transfers for stencil rows and 32-bit for columns).
+
+#include <iostream>
+
+#include "core/matmul.hpp"
+#include "core/microbench.hpp"
+#include "core/stencil.hpp"
+#include "core/summa.hpp"
+#include "dma/descriptor.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epi;
+  std::cout << "Ablation: communication schemes\n\n";
+
+  std::cout << "(a) Stencil boundary exchange, 8x8 workgroup, 50 iterations:\n";
+  util::Table st({"Per-core grid", "in-place GFLOPS", "double-buffered GFLOPS", "gain %"});
+  for (auto [r, c] : {std::pair<unsigned, unsigned>{20, 20}, {80, 20}, {40, 40}}) {
+    core::StencilConfig cfg;
+    cfg.rows = r;
+    cfg.cols = c;
+    cfg.iters = 50;
+    host::System a;
+    const auto inplace = core::run_stencil_experiment(a, 8, 8, cfg, 1, false);
+    cfg.double_buffer_boundaries = true;
+    host::System b;
+    const auto dbuf = core::run_stencil_experiment(b, 8, 8, cfg, 1, false);
+    st.add_row({std::to_string(r) + " x " + std::to_string(c),
+                util::fmt(inplace.result.gflops, 2), util::fmt(dbuf.result.gflops, 2),
+                util::fmt(100.0 * (dbuf.result.gflops / inplace.result.gflops - 1.0), 1)});
+  }
+  st.print(std::cout);
+  std::cout << "Paper: \"performance gains are likely to be modest\".\n\n";
+
+  std::cout << "(b) On-chip matmul: Cannon rotation vs SUMMA broadcast (4x4 group):\n";
+  util::Table mm({"Block", "Cannon GFLOPS", "SUMMA GFLOPS", "Cannon advantage"});
+  for (unsigned b : {8u, 16u, 24u}) {
+    host::System x;
+    const auto cannon = core::run_matmul_onchip(x, 4, b, core::Codegen::TunedAsm, 1, false);
+    host::System y;
+    const auto summa = core::run_matmul_summa(y, 4, b, core::Codegen::TunedAsm, 1, false);
+    mm.add_row({std::to_string(b) + " x " + std::to_string(b), util::fmt(cannon.gflops, 2),
+                util::fmt(summa.gflops, 2),
+                util::fmt(cannon.gflops / summa.gflops, 2) + "x"});
+  }
+  mm.print(std::cout);
+  std::cout << "Paper (sec. VIII): Cannon's nearest-neighbour transfers suit the 2D mesh;\n"
+               "SUMMA trades bandwidth for lower workspace.\n\n";
+
+  std::cout << "(c) DMA element width (4 KB transfer between adjacent cores):\n";
+  util::Table dw({"Element", "MB/s"});
+  {
+    host::System sys;
+    // DWORD-aligned destination.
+    const auto d = core::measure_dma(sys, {0, 0}, {0, 1}, 4096, 32);
+    dw.add_row({"DWORD (64-bit)", util::fmt(d.mb_per_s, 1)});
+  }
+  {
+    host::System sys;
+    // Odd word offset forces WORD descriptors in DmaDescriptor::linear.
+    const auto d = core::measure_dma(sys, {0, 0}, {0, 1}, 4092, 32);
+    dw.add_row({"WORD (32-bit)", util::fmt(d.mb_per_s, 1)});
+  }
+  dw.print(std::cout);
+  std::cout << "Paper: doubleword transfers double the DMA rate (2.4 -> 4.8 GB/s\n"
+               "theoretical; ~2 GB/s observed for large DWORD messages).\n";
+  return 0;
+}

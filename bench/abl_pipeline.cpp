@@ -1,0 +1,48 @@
+// Ablation / future-work reproduction: the temporal-blocking pipelined
+// stencil of the paper's section IX, for grids far beyond the chip's 2 MB
+// of scratchpad. Sweeping the temporal depth T shows the trade the paper
+// anticipates: deeper blocking amortises the 150 MB/s eLink traffic over
+// more updates per residency, at the price of redundant computation on the
+// supertile overlap. T=1 is the naive page-per-iteration baseline.
+
+#include <iostream>
+
+#include "core/stencil_pipeline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epi;
+  constexpr unsigned kN = 480;      // 480x480 floats = 900 KB per grid copy
+  constexpr unsigned kIters = 24;
+  constexpr unsigned kGroup = 8;
+  constexpr unsigned kOut = 120;    // output edge S; 4x4 supertiles
+
+  std::cout << "Pipelined stencil with temporal blocking (" << kN << "x" << kN << " grid, "
+            << kIters << " iterations, 8x8 workgroup, S=" << kOut << ")\n\n";
+  util::Table t({"Depth T", "Window L", "Time (ms)", "Useful GFLOPS", "Redundant compute",
+                 "DRAM traffic (MB)", "vs naive traffic"});
+  double naive_traffic = 0.0;
+  for (unsigned depth : {1u, 5u, 9u, 13u}) {
+    core::StencilPipelineConfig cfg;
+    cfg.group = kGroup;
+    cfg.depth = depth;
+    cfg.iters = kIters;
+    cfg.tile_interior = kOut + 2 * depth - 2;  // S + 2T - 2, divisible by 8
+    host::System sys;
+    const auto r = core::run_stencil_pipeline(sys, kN, cfg, 42, false);
+    const double mb =
+        static_cast<double>(r.dram_read_bytes + r.dram_write_bytes) / 1e6;
+    if (depth == 1) naive_traffic = mb;
+    t.add_row({std::to_string(depth), std::to_string(cfg.tile_interior + 2),
+               util::fmt(sys.seconds(r.cycles) * 1e3, 2), util::fmt(r.useful_gflops, 2),
+               util::fmt(100.0 * (r.redundancy - 1.0), 1) + "%", util::fmt(mb, 1),
+               util::fmt(mb / naive_traffic, 2) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper (section IX): \"computation is performed for a number of\n"
+               "iterations before the data is moved out of the local memory and new\n"
+               "data is brought in\" -- the depth sweep shows why: each doubling of T\n"
+               "roughly halves eLink traffic until redundant overlap compute bites.\n"
+               "All depths produce bit-identical results (verified in tests).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Simulator self-benchmark (google-benchmark): wall-clock throughput of the
+// discrete-event engine and of representative end-to-end experiments. This
+// is the one place where host wall-clock is the right metric -- it bounds
+// how large a modelled experiment is practical.
+
+#include <benchmark/benchmark.h>
+
+#include "core/matmul.hpp"
+#include "core/stencil.hpp"
+#include "host/system.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace epi;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 100; ++i) {
+      sim::spawn(e, [](sim::Engine& eng) -> sim::Op<void> {
+        for (int k = 0; k < 100; ++k) co_await sim::delay(eng, 3);
+      }(e));
+    }
+    e.run();
+    state.counters["events"] = static_cast<double>(e.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 100);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_Stencil64Core(benchmark::State& state) {
+  for (auto _ : state) {
+    host::System sys;
+    core::StencilConfig cfg;
+    cfg.rows = 20;
+    cfg.cols = 20;
+    cfg.iters = static_cast<unsigned>(state.range(0));
+    auto ex = core::run_stencil_experiment(sys, 8, 8, cfg, 1, false);
+    benchmark::DoNotOptimize(ex.result.cycles);
+  }
+}
+BENCHMARK(BM_Stencil64Core)->Arg(5)->Arg(20);
+
+void BM_MatmulOnChip(benchmark::State& state) {
+  for (auto _ : state) {
+    host::System sys;
+    auto r = core::run_matmul_onchip(sys, static_cast<unsigned>(state.range(0)), 16,
+                                     core::Codegen::TunedAsm, 1, false);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_MatmulOnChip)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BarrierRound(benchmark::State& state) {
+  for (auto _ : state) {
+    host::System sys;
+    auto wg = sys.open(0, 0, 8, 8);
+    wg.load([](device::CoreCtx& ctx) -> sim::Op<void> {
+      return [](device::CoreCtx& c) -> sim::Op<void> {
+        for (int k = 0; k < 10; ++k) co_await c.barrier();
+      }(ctx);
+    });
+    benchmark::DoNotOptimize(wg.run());
+  }
+}
+BENCHMARK(BM_BarrierRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

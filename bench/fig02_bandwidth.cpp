@@ -1,0 +1,36 @@
+// Figure 2: bandwidth of DMA vs CPU direct writes between adjacent eCores
+// as a function of message length. Paper observations: direct writes are
+// flat (~360 MB/s: 6.67 cycles per word regardless of size); DMA starts
+// below them but climbs to ~2 GB/s for large messages.
+
+#include <iostream>
+
+#include "core/microbench.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epi;
+  std::cout << "Figure 2: Bandwidth - DMA vs Direct Writes (adjacent cores (0,0)->(0,1))\n\n";
+  util::Table t({"Message bytes", "Direct writes MB/s", "DMA MB/s", "Winner"});
+  for (std::uint32_t bytes = 8; bytes <= 8192; bytes *= 2) {
+    host::System sys_direct;
+    const auto direct = core::measure_direct_write(sys_direct, {0, 0}, {0, 1}, bytes, 64);
+    host::System sys_dma;
+    const auto dma = core::measure_dma(sys_dma, {0, 0}, {0, 1}, bytes, 64);
+    t.add_row({std::to_string(bytes), util::fmt(direct.mb_per_s, 1),
+               util::fmt(dma.mb_per_s, 1),
+               dma.mb_per_s > direct.mb_per_s ? "DMA" : "direct"});
+  }
+  t.print(std::cout);
+
+  // The paper's Listing 1 actually relays the message through every mesh
+  // node; confirm the pairwise numbers hold for the full ring.
+  host::System ring_sys;
+  const auto ring = core::measure_relay_ring(ring_sys, 8, 8, 2048, 8);
+  std::cout << "\nListing-1 relay ring (64 nodes, 2 KB messages): "
+            << util::fmt(ring.mb_per_s, 1) << " MB/s per hop, "
+            << util::fmt(ring.us_per_msg, 2) << " us per transfer\n";
+  std::cout << "\nPaper: DMA ~2 GB/s for large messages; direct writes flat; DMA wins for\n"
+               "all but very small messages.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 7: stencil weak scaling. The per-core problem stays 60x60 while
+// the grid grows from 60x60 (1 eCore) to 480x480 (64 eCores). Paper: time
+// rises when communication first appears, then levels out after 8 eCores
+// (2x4) as independent neighbour pairs overlap.
+
+#include <iostream>
+
+#include "core/stencil.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epi;
+  std::cout << "Figure 7: Stencil weak scaling (60x60 per core, 50 iterations)\n\n";
+  const std::pair<unsigned, unsigned> groups[] = {{1, 1}, {1, 2}, {2, 2}, {2, 4},
+                                                  {4, 4}, {4, 8}, {8, 8}};
+  util::Table t({"eCores (rows x cols)", "Global grid", "Time (ms)", "GFLOPS"});
+  for (auto [gr, gc] : groups) {
+    host::System sys;
+    core::StencilConfig cfg;
+    cfg.rows = 60;
+    cfg.cols = 60;
+    cfg.iters = 50;
+    const auto ex = core::run_stencil_experiment(sys, gr, gc, cfg, 42, false);
+    t.add_row({std::to_string(gr * gc) + " (" + std::to_string(gr) + "x" +
+                   std::to_string(gc) + ")",
+               std::to_string(gr * 60) + " x " + std::to_string(gc * 60),
+               util::fmt(sys.seconds(ex.result.cycles) * 1e3, 3),
+               util::fmt(ex.result.gflops, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper: time increases from 1 eCore as communication appears, then\n"
+               "levels out after 8 eCores (2x4).\n";
+  return 0;
+}

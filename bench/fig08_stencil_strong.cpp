@@ -1,0 +1,42 @@
+// Figure 8: stencil strong scaling. Fixed global grids run on 1 to 64
+// eCores; speedup relative to the single-core run. Paper: each doubling of
+// eCores yields close to 2x, slightly better for larger problems.
+//
+// (The paper does not list its three grid sizes; we use 32x32, 48x48 and
+// 64x64 -- the largest square grids that still fit a single eCore's
+// scratchpad at every decomposition, documented in EXPERIMENTS.md.)
+
+#include <iostream>
+
+#include "core/stencil.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace epi;
+  std::cout << "Figure 8: Stencil strong scaling (speedup vs 1 eCore, 50 iterations)\n\n";
+  const unsigned sizes[] = {32, 48, 64};
+  const std::pair<unsigned, unsigned> groups[] = {{1, 1}, {2, 2}, {4, 4}, {8, 8}};
+  util::Table t({"Global grid", "eCores", "Time (ms)", "Speedup"});
+  for (unsigned n : sizes) {
+    double t1 = 0.0;
+    for (auto [gr, gc] : groups) {
+      if (n % gr != 0 || n % gc != 0) continue;
+      host::System sys;
+      core::StencilConfig cfg;
+      cfg.rows = n / gr;
+      cfg.cols = n / gc;
+      cfg.iters = 50;
+      const auto ex = core::run_stencil_experiment(sys, gr, gc, cfg, 42, false);
+      const double secs = sys.seconds(ex.result.cycles);
+      if (gr * gc == 1) t1 = secs;
+      t.add_row({std::to_string(n) + " x " + std::to_string(n),
+                 std::to_string(gr * gc) + " (" + std::to_string(gr) + "x" +
+                     std::to_string(gc) + ")",
+                 util::fmt(secs * 1e3, 3), util::fmt(t1 / secs, 2)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper: first doubling gives close to 2x; larger problems scale\n"
+               "slightly better; later doublings gain slightly less.\n";
+  return 0;
+}

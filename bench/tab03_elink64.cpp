@@ -1,0 +1,58 @@
+// Table III: all 64 eCores writing 2 KB blocks to DRAM simultaneously.
+// Paper: nodes near the exit win almost everything; 24 nodes complete zero
+// iterations ("the effects of starvation are clearly evident").
+//
+// Usage: tab03_elink64 [window_seconds]   (default 0.25; paper used 2.0)
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/microbench.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epi;
+  const double window = argc > 1 ? std::atof(argv[1]) : 0.25;
+  std::cout << "Table III: 64 mesh nodes writing 2KB blocks to DRAM over "
+            << util::fmt(window, 2) << " s (simulated)\n\n";
+  host::System sys;
+  auto res = core::measure_elink_contention(sys, 8, 8, 2048, window);
+
+  // Top writers, then a histogram of the rest (the paper groups them).
+  auto sorted = res.nodes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.iterations > b.iterations; });
+  util::Table top({"Mesh node", "Iterations", "Utilization"});
+  for (unsigned i = 0; i < 8; ++i) {
+    const auto& n = sorted[i];
+    top.add_row({std::to_string(n.coord.row) + "," + std::to_string(n.coord.col),
+                 std::to_string(n.iterations), util::fmt(n.utilization, 3)});
+  }
+  top.print(std::cout);
+
+  const std::uint64_t buckets[] = {1000, 100, 10, 1};
+  util::Table hist({"Iteration bucket", "Node count"});
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (auto b : buckets) {
+    unsigned count = 0;
+    for (const auto& n : res.nodes) {
+      if (n.iterations >= b && n.iterations < prev) ++count;
+    }
+    hist.add_row({">= " + std::to_string(b), std::to_string(count)});
+    prev = b;
+  }
+  unsigned zero = 0;
+  for (const auto& n : res.nodes) {
+    if (n.iterations == 0) ++zero;
+  }
+  hist.add_row({"0 (starved)", std::to_string(zero)});
+  std::cout << "\n";
+  hist.print(std::cout);
+  std::cout << "\nAggregate: " << util::fmt(res.total_mb_per_s, 1)
+            << " MB/s. Paper: top column-7 nodes dominate; 24 nodes starved at 0.\n"
+            << "(Model note: our stationary arbitration starves strictly by cascade\n"
+            << "depth; the measured near-equal split among the top four column-7\n"
+            << "nodes is a burst-timing artefact we do not reproduce.)\n";
+  return 0;
+}

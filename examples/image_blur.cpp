@@ -1,0 +1,92 @@
+// Image processing on the mesh: the paper's introduction notes stencils
+// "have similar characteristics to other applications such as image
+// processing". This example runs a separable-equivalent 3x3 Gaussian blur
+// (a full 9-point stencil, so it exercises the diagonal corner exchange)
+// over a synthetic 160x160 image domain-decomposed across all 64 eCores,
+// then verifies against the host reference.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/stencil.hpp"
+
+using namespace epi;
+
+namespace {
+
+/// Synthetic test card: a bright disc, a dark square and a diagonal edge.
+void paint_test_card(std::span<float> img, unsigned pitch, unsigned n) {
+  for (unsigned y = 0; y < n; ++y) {
+    for (unsigned x = 0; x < n; ++x) {
+      float v = 0.2f;
+      const float dx = static_cast<float>(x) - n * 0.3f;
+      const float dy = static_cast<float>(y) - n * 0.35f;
+      if (dx * dx + dy * dy < (n * 0.18f) * (n * 0.18f)) v = 1.0f;
+      if (x > n * 0.55f && x < n * 0.85f && y > n * 0.55f && y < n * 0.85f) v = 0.0f;
+      if (std::abs(static_cast<int>(x) - static_cast<int>(y)) < 2) v = 0.9f;
+      img[(y + 1) * pitch + (x + 1)] = v;
+    }
+  }
+}
+
+void render(std::span<const float> img, unsigned pitch, unsigned n, const char* title) {
+  static const char shades[] = " .:-=+*#%@";
+  std::printf("%s\n", title);
+  for (unsigned y = 1; y <= n; y += n / 24) {
+    std::printf("  ");
+    for (unsigned x = 1; x <= n; x += n / 48) {
+      const float v = std::clamp(img[y * pitch + x], 0.0f, 0.999f);
+      std::putchar(shades[static_cast<int>(v * 10.0f)]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr unsigned kN = 160;
+  constexpr unsigned kPitch = kN + 2;
+  std::vector<float> image(static_cast<std::size_t>(kPitch) * kPitch, 0.2f);
+  paint_test_card(image, kPitch, kN);
+  const std::vector<float> original(image);
+
+  core::StencilConfig cfg;
+  cfg.rows = kN / 8;
+  cfg.cols = kN / 8;
+  cfg.iters = 4;  // four blur passes
+  cfg.shape = core::StencilShape::Nine;
+  // 3x3 Gaussian kernel, 1/16 * [1 2 1; 2 4 2; 1 2 1].
+  cfg.weights9 = {1 / 16.0f, 2 / 16.0f, 1 / 16.0f, 2 / 16.0f, 4 / 16.0f,
+                  2 / 16.0f, 1 / 16.0f, 2 / 16.0f, 1 / 16.0f};
+
+  std::printf("image_blur: 3x3 Gaussian x%u on a %ux%u image, 8x8 workgroup "
+              "(%ux%u per core)\n\n",
+              cfg.iters, kN, kN, cfg.rows, cfg.cols);
+  render(original, kPitch, kN, "input:");
+
+  host::System sys;
+  const auto result = core::run_stencil(sys, 8, 8, cfg, image);
+  std::printf("\n");
+  render(image, kPitch, kN, "blurred:");
+
+  // Host reference for verification.
+  std::vector<float> ref(original);
+  std::vector<float> tmp(ref);
+  for (unsigned it = 0; it < cfg.iters; ++it) {
+    util::stencil9_reference(ref, tmp, kPitch, kPitch,
+                             std::span<const float, 9>(cfg.weights9));
+    for (unsigned y = 1; y <= kN; ++y) {
+      for (unsigned x = 1; x <= kN; ++x) ref[y * kPitch + x] = tmp[y * kPitch + x];
+    }
+  }
+  const float err = util::max_abs_diff(image, ref);
+
+  std::printf("\ndevice time: %.3f ms, %.1f GFLOPS (9-point: 18 flops/pixel/pass)\n",
+              sys.seconds(result.cycles) * 1e3, result.gflops);
+  std::printf("verification vs host reference: %s (max error %g)\n",
+              err == 0.0f ? "PASS" : "FAIL", err);
+  return err == 0.0f ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+#pragma once
+// The Epiphany flat, unprotected global address map (paper section II).
+//
+// Every eCore sees the same 32-bit address space:
+//   * addresses below 1 MB ("local window") alias the issuing core's own
+//     32 KB scratchpad;
+//   * each core's scratchpad also appears globally at (core_id << 20),
+//     where core_id = ((32 + row) << 6) | (8 + col) on the E64G401 --
+//     core (0,0) lives at 0x80800000;
+//   * 32 MB of shared DRAM is mapped at 0x8E000000 (the Parallella /
+//     ZedBoard window used in the paper).
+//
+// Local scratchpad is 32 KB organised as four 8 KB banks; bank assignment
+// drives both the paper's code/data placement advice and our optional
+// bank-conflict accounting.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "arch/coords.hpp"
+
+namespace epi::arch {
+
+using Addr = std::uint32_t;
+
+struct AddressMap {
+  // E64G401 constants (Epiphany Architecture Reference / E64G401 datasheet).
+  static constexpr unsigned kBaseRow = 32;
+  static constexpr unsigned kBaseCol = 8;
+  static constexpr Addr kCoreWindowBits = 20;            // 1 MB per core id
+  static constexpr Addr kLocalMemBytes = 32 * 1024;      // 32 KB scratchpad
+  static constexpr Addr kBankBytes = 8 * 1024;           // 4 banks of 8 KB
+  static constexpr unsigned kBankCount = 4;
+  static constexpr Addr kExternalBase = 0x8E000000;      // shared DRAM window
+  static constexpr Addr kExternalBytes = 32 * 1024 * 1024;
+
+  MeshDims dims{};
+  // Instance layout: authentic E64G401 values by default; make() relocates
+  // them for the large roadmap meshes whose core ids would otherwise
+  // collide with the external window (or exhaust the 32-bit space).
+  unsigned base_row = kBaseRow;
+  unsigned base_col = kBaseCol;
+  Addr external_base = kExternalBase;
+  Addr external_bytes = kExternalBytes;
+
+  /// Build a collision-free map for `dims`. Up to 31x24 cores the authentic
+  /// ZedBoard/Parallella layout fits (the E64G401's 8x8 trivially does).
+  /// Larger projection meshes move the origin to absolute (1,1) -- id 0 is
+  /// the local-alias window, which is exactly why real parts never place a
+  /// core there -- and put the shared window on the id row just past the
+  /// mesh. A 63x63 mesh (3969 cores, the closest 32-bit-addressable
+  /// approximation of the 4096-core roadmap part) leaves no id row for an
+  /// external window; anything larger does not fit 32-bit Epiphany
+  /// addressing at all and is rejected.
+  [[nodiscard]] static AddressMap make(MeshDims dims) {
+    AddressMap m;
+    m.dims = dims;
+    if (dims.rows <= 31 && dims.cols <= 24) return m;
+    if (dims.rows > 63 || dims.cols > 63) {
+      throw std::invalid_argument(
+          "mesh exceeds 32-bit Epiphany addressing (max 63x63 cores)");
+    }
+    m.base_row = 1;
+    m.base_col = 1;
+    if (1 + dims.rows > 63) {
+      m.external_base = 0;
+      m.external_bytes = 0;
+    } else {
+      // 32 MB = 32 core-id slots on the id row just past the mesh
+      // (cols 0..31): no valid core ever owns them.
+      m.external_base = static_cast<Addr>(1 + dims.rows) << (6 + kCoreWindowBits);
+      m.external_bytes = kExternalBytes;
+    }
+    return m;
+  }
+
+  [[nodiscard]] bool has_external() const noexcept { return external_bytes > 0; }
+
+  /// Global core id of mesh coordinate `c`.
+  [[nodiscard]] std::uint32_t core_id(CoreCoord c) const noexcept {
+    return ((base_row + c.row) << 6) | (base_col + c.col);
+  }
+
+  /// Global address of `offset` within core `c`'s scratchpad.
+  [[nodiscard]] Addr global(CoreCoord c, Addr offset) const noexcept {
+    return (core_id(c) << kCoreWindowBits) | (offset & ((1u << kCoreWindowBits) - 1));
+  }
+
+  /// True if `a` lies in the issuing core's alias window (low 1 MB).
+  [[nodiscard]] static bool is_local_alias(Addr a) noexcept {
+    return (a >> kCoreWindowBits) == 0;
+  }
+
+  /// True if `a` addresses the shared external DRAM window.
+  [[nodiscard]] bool is_external(Addr a) const noexcept {
+    return external_bytes > 0 && a >= external_base && a - external_base < external_bytes;
+  }
+  [[nodiscard]] Addr external_offset(Addr a) const noexcept { return a - external_base; }
+
+  /// Mesh coordinate owning global address `a`, if it is a core window on
+  /// this mesh. (External and local-alias addresses return nullopt.)
+  [[nodiscard]] std::optional<CoreCoord> core_of(Addr a) const noexcept {
+    if (is_external(a)) return std::nullopt;
+    const std::uint32_t id = a >> kCoreWindowBits;
+    if (id == 0) return std::nullopt;
+    const unsigned row = (id >> 6) & 0x3F;
+    const unsigned col = id & 0x3F;
+    if (row < base_row || col < base_col) return std::nullopt;
+    const CoreCoord c{row - base_row, col - base_col};
+    if (!dims.contains(c)) return std::nullopt;
+    return c;
+  }
+
+  /// Scratchpad offset of a core-window or local-alias address.
+  [[nodiscard]] static Addr local_offset(Addr a) noexcept {
+    return a & ((1u << kCoreWindowBits) - 1);
+  }
+
+  /// Bank index (0..3) of a scratchpad offset.
+  [[nodiscard]] static unsigned bank_of(Addr offset) noexcept {
+    return (offset / kBankBytes) % kBankCount;
+  }
+};
+
+}  // namespace epi::arch

@@ -1,0 +1,25 @@
+#pragma once
+// Which code generator produced the (modelled) inner loops.
+//
+// The paper's central programming-effort observation is the gap between
+// e-gcc output and hand-scheduled assembly: the C stencil reached only "a
+// small fraction of peak" and the C matmul "60% of peak" before both inner
+// loops were rewritten in assembly. Every schedule model in core/ accepts a
+// Codegen so the ablation benches can quantify that gap.
+
+namespace epi::core {
+
+enum class Codegen {
+  TunedAsm,   // hand-scheduled FMADD pipelines (sections VI and VII)
+  CCompiler,  // e-gcc 4.8.2 with the paper's optimisation flags
+};
+
+[[nodiscard]] constexpr const char* to_string(Codegen c) noexcept {
+  switch (c) {
+    case Codegen::TunedAsm: return "tuned-asm";
+    case Codegen::CCompiler: return "c-compiler";
+  }
+  return "?";
+}
+
+}  // namespace epi::core

@@ -1,0 +1,108 @@
+#pragma once
+// Parallel matrix multiplication after Sapir / Cannon (paper section VII),
+// at the paper's three levels:
+//
+//   1. single-core: a tuned block kernel over operands resident in one
+//      scratchpad (Table IV);
+//   2. on-chip multi-core: per-core blocks rotated around workgroup rows
+//      (A, westward) and columns (B, northward) each step (Table V). Blocks
+//      below 32x32 use full double-buffering; 32x32 blocks do not fit twice
+//      and use the paper's split-buffer scheme (2 KB halves staged through a
+//      spare half-slot -- Figures 10-13), realised here as a ring of three
+//      2 KB half-slots per operand;
+//   3. off-chip: matrices too large for the chip are paged from shared DRAM
+//      superblock by superblock over the eLink (Table VI).
+//
+// Per-core scratchpad layout (paper "Memory Considerations"):
+//   0x0000-0x01FF  runtime reserved
+//   0x0200-0x3EFF  (modelled) code + stack (the paper's code is ~13 KB)
+//   0x3F00-0x3FFF  synchronisation flags
+//   0x4000-0x57FF  operand A region (block + staging: 3 half-slots of 2 KB)
+//   0x5800-0x6FFF  operand B region (same structure)
+//   0x7000-0x7FFF  product C block
+//
+// All kernels compute functionally in float with the same accumulation
+// order as util::matmul_reference (k-major per element), so device results
+// are bit-identical to the host reference.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/address_map.hpp"
+#include "core/codegen.hpp"
+#include "core/matmul_schedule.hpp"
+#include "device/core_ctx.hpp"
+#include "host/system.hpp"
+#include "sim/task.hpp"
+
+namespace epi::core {
+
+struct MatmulLayout {
+  static constexpr arch::Addr kFlags = 0x3F00;
+  static constexpr arch::Addr kARegion = 0x4000;
+  static constexpr arch::Addr kBRegion = 0x5800;
+  static constexpr arch::Addr kC = 0x7000;
+  static constexpr arch::Addr kHalfSlot = 0x800;  // 2 KB
+  /// Largest per-core block edge: 32x32 floats = 4 KB (paper).
+  static constexpr unsigned kMaxBlock = 32;
+  /// Largest block edge that still fits two full buffers per operand in a
+  /// 6 KB region (double-buffer path): 3 KB per buffer -> 27x27.
+  static constexpr unsigned kMaxDoubleBufferBlock = 27;
+};
+
+// ---- level 1: single-core ------------------------------------------------
+
+struct MatmulSingleResult {
+  sim::Cycles cycles = 0;
+  double gflops = 0.0;
+  bool verified = false;
+  float max_error = 0.0f;
+};
+
+/// C(m x k) = A(m x n) * B(n x k) on one eCore, operands loaded by the host.
+MatmulSingleResult run_matmul_single(host::System& sys, unsigned m, unsigned n, unsigned k,
+                                     Codegen cg, std::uint64_t seed, bool verify);
+
+// ---- level 2: on-chip multi-core (Cannon) ---------------------------------
+
+struct MatmulOnChipResult {
+  sim::Cycles cycles = 0;      // Cannon phase only (operand load excluded,
+                               // matching the paper's Table V note)
+  double gflops = 0.0;
+  double compute_fraction = 1.0;
+  bool verified = false;
+  float max_error = 0.0f;
+};
+
+/// Multiply (g*b)^2 matrices on a g x g workgroup with b x b per-core
+/// blocks. b <= 27 uses double-buffered whole-block rotation; larger b uses
+/// the split-buffer scheme.
+MatmulOnChipResult run_matmul_onchip(host::System& sys, unsigned group, unsigned block,
+                                     Codegen cg, std::uint64_t seed, bool verify);
+
+/// Rectangular variant for the scaling figures: per-core C is (m x k) and
+/// the shared dimension per core is n; global dims are (g*m) x (g*n) x (g*k).
+MatmulOnChipResult run_matmul_onchip_rect(host::System& sys, unsigned group, unsigned m,
+                                          unsigned n, unsigned k, Codegen cg,
+                                          std::uint64_t seed, bool verify);
+
+// ---- level 3: off-chip ------------------------------------------------------
+
+struct MatmulOffChipResult {
+  sim::Cycles cycles = 0;
+  double gflops = 0.0;
+  double compute_fraction = 0.0;   // share of time in block products
+  double transfer_fraction = 0.0;  // share of time in shared-memory paging
+  bool verified = false;
+  float max_error = 0.0f;
+};
+
+/// Multiply N x N matrices resident in shared DRAM on a g x g workgroup
+/// with b x b per-core blocks, paging (g*b)^2 superblocks over the eLink.
+/// N must be a multiple of g*b.
+MatmulOffChipResult run_matmul_offchip(host::System& sys, unsigned n_global, unsigned group,
+                                       unsigned block, Codegen cg, std::uint64_t seed,
+                                       bool verify);
+
+}  // namespace epi::core

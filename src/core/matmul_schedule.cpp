@@ -1,0 +1,15 @@
+#include "core/matmul_schedule.hpp"
+
+namespace epi::core {
+
+sim::Cycles MatmulSchedule::block_cycles(unsigned m, unsigned n, unsigned k, Codegen cg) {
+  if (m == 0 || n == 0 || k == 0) return 0;
+  const sim::Cycles tuned =
+      kSetup + static_cast<sim::Cycles>(m) * (n * macro_cycles(k) + row_overhead(k));
+  if (cg == Codegen::CCompiler) {
+    return static_cast<sim::Cycles>(static_cast<double>(tuned) / kCCompilerEfficiency);
+  }
+  return tuned;
+}
+
+}  // namespace epi::core

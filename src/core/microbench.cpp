@@ -1,0 +1,200 @@
+#include "core/microbench.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dma/descriptor.hpp"
+
+namespace epi::core {
+
+namespace {
+
+using arch::Addr;
+using arch::CoreCoord;
+
+constexpr Addr kData = 0x4000;      // message payload (up to 8 KB: 0x4000-0x5FFF)
+constexpr Addr kFlag = 0x3F00;      // per-message completion flag
+constexpr Addr kStop = 0x3F08;      // host-set stop flag (contention bench)
+
+/// Open the smallest workgroup containing both endpoints.
+host::Workgroup open_covering(host::System& sys, CoreCoord a, CoreCoord b) {
+  return sys.open(0, 0, std::max(a.row, b.row) + 1, std::max(a.col, b.col) + 1);
+}
+
+template <typename PerMessage>
+XferResult run_sender(host::System& sys, CoreCoord src, CoreCoord dst, std::uint32_t bytes,
+                      unsigned reps, PerMessage per_message) {
+  auto wg = open_covering(sys, src, dst);
+  wg.load([&, src](device::CoreCtx& ctx) -> sim::Op<void> {
+    if (ctx.coord() != src) {
+      return [](device::CoreCtx&) -> sim::Op<void> { co_return; }(ctx);
+    }
+    return per_message(ctx);
+  });
+  XferResult r;
+  r.cycles = wg.run();
+  r.seconds = sys.seconds(r.cycles);
+  r.mb_per_s = static_cast<double>(bytes) * reps / r.seconds / 1e6;
+  r.us_per_msg = r.seconds * 1e6 / reps;
+  return r;
+}
+
+}  // namespace
+
+XferResult measure_direct_write(host::System& sys, CoreCoord src, CoreCoord dst,
+                                std::uint32_t bytes, unsigned reps) {
+  if (bytes > 0x2000) throw std::invalid_argument("message exceeds the 8 KB payload buffer");
+  return run_sender(sys, src, dst, bytes, reps,
+                    [&sys, dst, bytes, reps](device::CoreCtx& ctx) -> sim::Op<void> {
+                      const Addr payload = sys.machine().mem().map().global(dst, kData);
+                      const Addr flag = sys.machine().mem().map().global(dst, kFlag);
+                      for (unsigned i = 1; i <= reps; ++i) {
+                        co_await ctx.direct_write_block(payload, kData, bytes);
+                        co_await ctx.write_u32(flag, i);
+                      }
+                    });
+}
+
+XferResult measure_dma(host::System& sys, CoreCoord src, CoreCoord dst, std::uint32_t bytes,
+                       unsigned reps) {
+  if (bytes > 0x2000) throw std::invalid_argument("message exceeds the 8 KB payload buffer");
+  return run_sender(sys, src, dst, bytes, reps,
+                    [&sys, dst, bytes, reps](device::CoreCtx& ctx) -> sim::Op<void> {
+                      const Addr payload = sys.machine().mem().map().global(dst, kData);
+                      const Addr flag = sys.machine().mem().map().global(dst, kFlag);
+                      for (unsigned i = 1; i <= reps; ++i) {
+                        co_await ctx.dma_set_desc();
+                        auto d = dma::DmaDescriptor::linear(payload, ctx.my_global(kData),
+                                                            bytes);
+                        co_await ctx.dma_start(0, d);
+                        co_await ctx.dma_wait(0);
+                        co_await ctx.write_u32(flag, i);
+                      }
+                    });
+}
+
+XferResult measure_relay_ring(host::System& sys, unsigned rows, unsigned cols,
+                              std::uint32_t bytes, unsigned loops) {
+  if (bytes > 0x2000) throw std::invalid_argument("message exceeds the 8 KB payload buffer");
+  auto wg = sys.open(0, 0, rows, cols);
+  const unsigned nodes = rows * cols;
+
+  // Boustrophedon order: east along even rows, west along odd rows, so
+  // every hop is to a mesh neighbour (as in Listing 1's row-by-row relay).
+  std::vector<CoreCoord> order;
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      order.push_back({r, r % 2 == 0 ? c : cols - 1 - c});
+    }
+  }
+  std::vector<unsigned> next_of(nodes);  // group index -> position in order
+  std::vector<CoreCoord> next_coord(nodes);
+  std::vector<bool> is_last(nodes, false);
+  for (unsigned i = 0; i < nodes; ++i) {
+    const unsigned gi = order[i].row * cols + order[i].col;
+    next_coord[gi] = order[(i + 1) % nodes];
+    is_last[gi] = i + 1 == nodes;
+  }
+
+  for (unsigned i = 0; i < nodes; ++i) {
+    auto& ctx = wg.ctx(i / cols, i % cols);
+    sys.machine().mem().write_value<std::uint32_t>(ctx.my_global(kFlag), 0, ctx.coord());
+  }
+  // Kick node 0: its flag starts at 1 so it sends the first message.
+  sys.machine().mem().write_value<std::uint32_t>(wg.ctx(0, 0).my_global(kFlag), 1,
+                                                 wg.ctx(0, 0).coord());
+
+  wg.load([&](device::CoreCtx& kctx) -> sim::Op<void> {
+    return [](device::CoreCtx& ctx, CoreCoord nxt, bool last, std::uint32_t nbytes,
+              unsigned nloops) -> sim::Op<void> {
+      // Listing 1: wait for the previous core's completion flag, copy the
+      // payload into the next core, bump its flag (the ring's last node
+      // advances the loop count by one extra, releasing node 0's next lap).
+      const Addr next_payload = ctx.global(nxt, kData);
+      const Addr next_flag = ctx.global(nxt, kFlag);
+      for (std::uint32_t loop = 1; loop <= nloops; ++loop) {
+        co_await ctx.wait_u32_ge(ctx.my_global(kFlag), loop);
+        co_await ctx.direct_write_block(next_payload, kData, nbytes);
+        co_await ctx.write_u32(next_flag, last ? loop + 1 : loop);
+      }
+    }(kctx, next_coord[kctx.group_index()], is_last[kctx.group_index()], bytes, loops);
+  });
+
+  XferResult r;
+  r.cycles = wg.run();
+  r.seconds = sys.seconds(r.cycles);
+  const double transfers = static_cast<double>(loops) * nodes;
+  r.mb_per_s = static_cast<double>(bytes) * transfers / r.seconds / 1e6;
+  r.us_per_msg = r.seconds * 1e6 / transfers;
+  return r;
+}
+
+ElinkContentionResult measure_elink_contention(host::System& sys, unsigned rows,
+                                               unsigned cols, std::uint32_t block_bytes,
+                                               double window_seconds) {
+  auto wg = sys.open(0, 0, rows, cols);
+  const auto window_cycles =
+      static_cast<sim::Cycles>(window_seconds * sys.timing().clock_hz);
+
+  std::vector<std::uint64_t> iterations(wg.size(), 0);
+  // Each writer gets a private destination region in shared DRAM.
+  sys.shm_reset();
+  std::vector<Addr> dsts(wg.size());
+  for (auto& d : dsts) d = sys.shm_alloc(block_bytes);
+
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      auto& ctx = wg.ctx(r, c);
+      sys.machine().mem().write_value<std::uint32_t>(ctx.my_global(kStop), 0, ctx.coord());
+    }
+  }
+
+  const sim::Cycles window_end = sys.engine().now() + window_cycles;
+  wg.load([&](device::CoreCtx& kctx) -> sim::Op<void> {
+    return [](device::CoreCtx& ctx, Addr dst, std::uint32_t bytes, sim::Cycles t_end,
+              std::uint64_t& count) -> sim::Op<void> {
+      auto stop = ctx.local_array<std::uint32_t>(kStop, 1);
+      while (stop[0] == 0) {
+        co_await ctx.compute(2);  // loop test + branch
+        co_await ctx.external_write_block(dst, kData, bytes);
+        // Blocks still in flight when the window closes drain afterwards
+        // but do not count toward the window's iterations, as a wall-clock
+        // measurement on real hardware would not count them.
+        if (ctx.now() <= t_end) ++count;
+      }
+    }(kctx, dsts[kctx.group_index()], block_bytes, window_end,
+      iterations[kctx.group_index()]);
+  });
+
+  // Raise every core's stop flag at the end of the window.
+  sys.engine().call_at(sys.engine().now() + window_cycles, [&] {
+    for (unsigned r = 0; r < rows; ++r) {
+      for (unsigned c = 0; c < cols; ++c) {
+        auto& ctx = wg.ctx(r, c);
+        sys.machine().mem().write_value<std::uint32_t>(ctx.my_global(kStop), 1,
+                                                       ctx.coord());
+      }
+    }
+  });
+  wg.run();
+
+  ElinkContentionResult res;
+  res.window_seconds = window_seconds;
+  const double sustained = sys.timing().elink_write_bytes_per_sec();
+  double total_bytes = 0.0;
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      ElinkNodeResult n;
+      n.coord = {r, c};
+      n.iterations = iterations[r * cols + c];
+      const double bytes = static_cast<double>(n.iterations) * block_bytes;
+      total_bytes += bytes;
+      n.utilization = bytes / (sustained * window_seconds);
+      res.nodes.push_back(n);
+    }
+  }
+  res.total_mb_per_s = total_bytes / window_seconds / 1e6;
+  return res;
+}
+
+}  // namespace epi::core

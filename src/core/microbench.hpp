@@ -1,0 +1,57 @@
+#pragma once
+// Micro-benchmarks of basic compute and communication operations (paper
+// section V): message bandwidth/latency between eCores by DMA and by CPU
+// direct writes (Figures 2-3, Table I), and eLink contention when multiple
+// eCores write to external shared memory (Tables II-III).
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/coords.hpp"
+#include "host/system.hpp"
+
+namespace epi::core {
+
+struct XferResult {
+  sim::Cycles cycles = 0;   // total device time for all repetitions
+  double seconds = 0.0;
+  double mb_per_s = 0.0;    // payload bandwidth
+  double us_per_msg = 0.0;  // mean latency per message
+};
+
+/// CPU direct-write transfer (Listing 1): fully unrolled load/store word
+/// pairs from `src`'s scratchpad into `dst`'s, one flag store per message.
+XferResult measure_direct_write(host::System& sys, arch::CoreCoord src, arch::CoreCoord dst,
+                                std::uint32_t bytes, unsigned reps);
+
+/// DMA transfer of the same message: descriptor build + start + wait per
+/// message, 64-bit transactions when alignment allows.
+XferResult measure_dma(host::System& sys, arch::CoreCoord src, arch::CoreCoord dst,
+                       std::uint32_t bytes, unsigned reps);
+
+/// The full Listing-1 benchmark: the message relays through *every* mesh
+/// node in turn (along each row, dropping to the next row at the ends),
+/// repeated `loops` times, using CPU direct writes. Returns the aggregate
+/// time; per-transfer figures divide by loops * (nodes - 1).
+XferResult measure_relay_ring(host::System& sys, unsigned rows, unsigned cols,
+                              std::uint32_t bytes, unsigned loops);
+
+struct ElinkNodeResult {
+  arch::CoreCoord coord;
+  std::uint64_t iterations = 0;  // completed 2 KB blocks (paper's metric)
+  double utilization = 0.0;      // share of the sustained eLink write rate
+};
+
+struct ElinkContentionResult {
+  std::vector<ElinkNodeResult> nodes;  // row-major over the writer group
+  double window_seconds = 0.0;
+  double total_mb_per_s = 0.0;
+};
+
+/// `rows x cols` eCores (origin 0,0) continuously write `block_bytes` blocks
+/// to external DRAM for `window_seconds` of simulated time (Tables II-III).
+ElinkContentionResult measure_elink_contention(host::System& sys, unsigned rows,
+                                               unsigned cols, std::uint32_t block_bytes,
+                                               double window_seconds);
+
+}  // namespace epi::core

@@ -1,0 +1,105 @@
+#pragma once
+// The paper's heat-stencil application (section VI): a 5-point star stencil
+// mapped onto the mesh by 2D domain decomposition, computed from scratchpad
+// with the hand-tuned schedule, halos exchanged by chained 2D DMA and
+// flag-based neighbour synchronisation (Listing 2).
+//
+// Per-core scratchpad layout (mirrors the paper's bank discipline):
+//   0x0000-0x01FF  runtime reserved (see device::CoreCtx)
+//   0x0200-0x1FFF  (modelled) code bank
+//   0x2000-0x25FF  (modelled) stack / locals
+//   0x2600-0x2EFF  double-buffered halo strips (optimisation variant only)
+//   0x2F00-0x2F3F  synchronisation flags (iter[4] then xfer[4])
+//   0x3000-0x7FFF  grid tile, halo-inclusive, row-major floats
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/address_map.hpp"
+#include "core/codegen.hpp"
+#include "core/stencil_schedule.hpp"
+#include "device/core_ctx.hpp"
+#include "host/system.hpp"
+#include "sim/task.hpp"
+#include "util/reference.hpp"
+
+namespace epi::core {
+
+enum class StencilShape {
+  Star5,  // the paper's "+" stencil (T, L, C, R, B)
+  X5,     // diagonal "X" variant (section VI "Further Observations")
+  Nine,   // full 9-point variant
+};
+
+struct StencilConfig {
+  unsigned rows = 20;  // interior rows per core
+  unsigned cols = 20;  // interior cols per core
+  unsigned iters = 50; // the paper evaluates 50 iterations
+  util::StencilWeights weights{};
+  std::array<float, 9> weights9{};  // used when shape == Nine
+  StencilShape shape = StencilShape::Star5;
+  Codegen codegen = Codegen::TunedAsm;
+  /// Exchange halos every iteration. Figure 6's lighter bars are the same
+  /// run with communication off.
+  bool communicate = true;
+  /// "Further Optimizations": double-buffer the boundary rows/columns so
+  /// transfers start without waiting for the neighbours' compute phase.
+  bool double_buffer_boundaries = false;
+};
+
+/// Scratchpad addresses used by the stencil kernel.
+struct StencilLayout {
+  static constexpr arch::Addr kHaloStrips = 0x2600;
+  static constexpr arch::Addr kIterFlags = 0x2F00;      // [N,S,W,E]
+  static constexpr arch::Addr kXferFlags = 0x2F20;      // [N,S,W,E]
+  static constexpr arch::Addr kDiagIterFlags = 0x2F40;  // [NW,NE,SW,SE]
+  static constexpr arch::Addr kDiagXferFlags = 0x2F60;  // [NW,NE,SW,SE]
+  static constexpr arch::Addr kGrid = 0x3000;
+  static constexpr arch::Addr kGridEnd = 0x8000;
+
+  /// Largest halo-inclusive tile (in floats) that fits the layout.
+  static constexpr std::size_t kMaxTileFloats = (kGridEnd - kGrid) / sizeof(float);
+  [[nodiscard]] static bool tile_fits(unsigned rows, unsigned cols) noexcept {
+    return static_cast<std::size_t>(rows + 2) * (cols + 2) <= kMaxTileFloats;
+  }
+};
+
+/// Per-core cycle accounting, filled in by the kernel.
+struct StencilCoreStats {
+  sim::Cycles compute_cycles = 0;
+  sim::Cycles comm_cycles = 0;
+};
+
+/// The device kernel: runs cfg.iters updates of this core's tile, with
+/// halo exchange per iteration when cfg.communicate. `stats` may be null.
+sim::Op<void> stencil_kernel(device::CoreCtx& ctx, StencilConfig cfg,
+                             StencilCoreStats* stats);
+
+struct StencilResult {
+  sim::Cycles cycles = 0;   // device time, start signal to completion
+  double flops = 0.0;
+  double gflops = 0.0;
+  double compute_fraction = 1.0;  // mean per-core compute / total
+};
+
+/// Run a (group_rows x group_cols) workgroup over `grid`, a halo-inclusive
+/// global array of (group_rows*cfg.rows + 2) x (group_cols*cfg.cols + 2)
+/// floats, updated in place. Host-side scatter/gather is untimed, matching
+/// the paper's measurement boundary.
+StencilResult run_stencil(host::System& sys, unsigned group_rows, unsigned group_cols,
+                          const StencilConfig& cfg, std::span<float> grid);
+
+/// Convenience wrapper: random initial grid, optional verification against
+/// the host reference.
+struct StencilExperiment {
+  StencilResult result;
+  float max_error = 0.0f;
+  bool verified = false;
+};
+StencilExperiment run_stencil_experiment(host::System& sys, unsigned group_rows,
+                                         unsigned group_cols, const StencilConfig& cfg,
+                                         std::uint64_t seed, bool verify);
+
+}  // namespace epi::core

@@ -1,0 +1,106 @@
+#pragma once
+// Shared internals of the stencil kernels: neighbour discovery, the
+// flag-synchronised chained-DMA halo exchange of the paper's Listing 2, and
+// the functional/temporal compute step. Used by the resident-grid kernel
+// (stencil_kernels.cpp) and the temporal-blocking pipeline kernel
+// (stencil_pipeline.cpp).
+
+#include <array>
+
+#include "core/stencil.hpp"
+#include "dma/descriptor.hpp"
+
+namespace epi::core::detail {
+
+using arch::Addr;
+using arch::CoreCoord;
+using arch::Dir;
+using sim::Cycles;
+
+inline constexpr std::array<Dir, 4> kDirs{Dir::North, Dir::South, Dir::West, Dir::East};
+
+[[nodiscard]] constexpr Dir opposite(Dir d) noexcept {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::West: return Dir::East;
+    case Dir::East: return Dir::West;
+  }
+  return Dir::North;
+}
+
+[[nodiscard]] constexpr Addr iter_flag(unsigned dir) {
+  return StencilLayout::kIterFlags + 4 * dir;
+}
+[[nodiscard]] constexpr Addr xfer_flag(unsigned dir) {
+  return StencilLayout::kXferFlags + 4 * dir;
+}
+
+struct NeighbourInfo {
+  bool present[4] = {false, false, false, false};
+  CoreCoord coord[4]{};
+  // Diagonal neighbours, [NW, NE, SW, SE]; present iff both constituent
+  // cardinal neighbours exist.
+  bool diag_present[4] = {false, false, false, false};
+  CoreCoord diag[4]{};
+};
+
+[[nodiscard]] constexpr unsigned diag_opposite(unsigned d) noexcept {
+  // NW<->SE, NE<->SW.
+  return 3 - d;
+}
+
+[[nodiscard]] constexpr Addr diag_iter_flag(unsigned d) {
+  return StencilLayout::kDiagIterFlags + 4 * d;
+}
+[[nodiscard]] constexpr Addr diag_xfer_flag(unsigned d) {
+  return StencilLayout::kDiagXferFlags + 4 * d;
+}
+
+[[nodiscard]] inline NeighbourInfo find_neighbours(device::CoreCtx& ctx) {
+  NeighbourInfo n;
+  for (unsigned d = 0; d < 4; ++d) {
+    CoreCoord c;
+    if (ctx.neighbour(kDirs[d], c)) {
+      n.present[d] = true;
+      n.coord[d] = c;
+    }
+  }
+  // Diagonals [NW, NE, SW, SE]: present iff both constituent cardinals are.
+  const struct {
+    unsigned a, b;  // indices into kDirs (N=0, S=1, W=2, E=3)
+    int dr, dc;
+  } diag_def[4] = {{0, 2, -1, -1}, {0, 3, -1, +1}, {1, 2, +1, -1}, {1, 3, +1, +1}};
+  for (unsigned d = 0; d < 4; ++d) {
+    if (n.present[diag_def[d].a] && n.present[diag_def[d].b]) {
+      n.diag_present[d] = true;
+      n.diag[d] = {static_cast<unsigned>(static_cast<int>(ctx.coord().row) + diag_def[d].dr),
+                   static_cast<unsigned>(static_cast<int>(ctx.coord().col) + diag_def[d].dc)};
+    }
+  }
+  return n;
+}
+
+/// One round of the paper's two-phase halo exchange for a (rows x cols)
+/// interior tile at StencilLayout::kGrid: phase 1 iter-flags (safe to
+/// overwrite neighbours' boundaries), chained 2D DMA (rows on channel 0,
+/// columns on channel 1), phase 2 transfer-complete flags. `gen` must be a
+/// monotonically increasing generation shared by all cores in the group.
+/// `corners` additionally delivers the four diagonal halo cells (single
+/// posted word stores to the diagonal neighbours), which the full-3x3
+/// stencil footprints need (section VI "Further Observations").
+sim::Op<void> exchange_halos(device::CoreCtx& ctx, const NeighbourInfo& nb, unsigned rows,
+                             unsigned cols, std::uint32_t gen, bool corners = false);
+
+/// Functional update + modelled cycles for one stencil iteration of the
+/// tile at StencilLayout::kGrid, using `snap` as scratch for the previous
+/// state. Returns the cycles charged.
+sim::Op<Cycles> stencil_step(device::CoreCtx& ctx, const StencilConfig& cfg,
+                             std::vector<float>& snap);
+
+/// Initialise the per-direction flag words: absent neighbours pre-satisfied
+/// forever, present ones starting from `gen0`.
+void init_flags(host::System& sys, device::CoreCtx& ctx, const bool missing[4],
+                std::uint32_t gen0 = 0);
+
+}  // namespace epi::core::detail

@@ -1,0 +1,432 @@
+#include "core/stencil.hpp"
+
+#include <stdexcept>
+
+#include "core/stencil_detail.hpp"
+#include "dma/descriptor.hpp"
+
+namespace epi::core {
+
+namespace detail {
+
+sim::Op<void> exchange_halos(device::CoreCtx& ctx, const NeighbourInfo& nb, unsigned rows,
+                             unsigned cols, std::uint32_t gen, bool corners) {
+  const unsigned tc = cols + 2;
+  const unsigned tr = rows + 2;
+  const Addr grid_gbase = ctx.my_global(StencilLayout::kGrid);
+  const auto elem = [&](unsigned r, unsigned c) { return grid_gbase + (r * tc + c) * 4; };
+
+  // Phase 1: wait until the neighbours have finished computing so it is
+  // safe to overwrite their boundary regions (Listing 2's iter flags).
+  for (unsigned d = 0; d < 4; ++d) {
+    if (nb.present[d]) {
+      co_await ctx.write_u32(
+          ctx.global(nb.coord[d], iter_flag(static_cast<unsigned>(opposite(kDirs[d])))),
+          gen);
+    }
+  }
+  for (unsigned d = 0; d < 4; ++d) {
+    co_await ctx.wait_u32_ge(ctx.my_global(iter_flag(d)), gen);
+  }
+
+  // Edge transfers: chained 2D DMA, rows on channel 0, columns on channel 1
+  // (Listing 2). Descriptors are rebuilt each iteration, as in the paper.
+  dma::DmaDescriptor row_descs[2];
+  dma::DmaDescriptor col_descs[2];
+  unsigned n_row = 0;
+  unsigned n_col = 0;
+
+  // South: my last interior row -> south neighbour's top halo row.
+  if (nb.present[1]) {
+    co_await ctx.dma_set_desc();
+    row_descs[n_row++] = dma::DmaDescriptor::linear(
+        ctx.global(nb.coord[1], StencilLayout::kGrid + 4), elem(rows, 1), cols * 4);
+  }
+  // North: my first interior row -> north neighbour's bottom halo row.
+  if (nb.present[0]) {
+    co_await ctx.dma_set_desc();
+    row_descs[n_row++] = dma::DmaDescriptor::linear(
+        ctx.global(nb.coord[0], StencilLayout::kGrid + ((tr - 1) * tc + 1) * 4), elem(1, 1),
+        cols * 4);
+  }
+  // East: my last interior column -> east neighbour's left halo column.
+  if (nb.present[3]) {
+    co_await ctx.dma_set_desc();
+    col_descs[n_col++] = dma::DmaDescriptor::strided(
+        ctx.global(nb.coord[3], StencilLayout::kGrid + tc * 4), elem(1, cols), rows, 4,
+        static_cast<std::int32_t>(tc * 4), static_cast<std::int32_t>(tc * 4),
+        dma::ElemSize::Word);
+  }
+  // West: my first interior column -> west neighbour's right halo column.
+  if (nb.present[2]) {
+    co_await ctx.dma_set_desc();
+    col_descs[n_col++] = dma::DmaDescriptor::strided(
+        ctx.global(nb.coord[2], StencilLayout::kGrid + (tc + tc - 1) * 4), elem(1, 1), rows,
+        4, static_cast<std::int32_t>(tc * 4), static_cast<std::int32_t>(tc * 4),
+        dma::ElemSize::Word);
+  }
+
+  if (n_row == 2) row_descs[0].chain = &row_descs[1];
+  if (n_col == 2) col_descs[0].chain = &col_descs[1];
+  if (n_row > 0) co_await ctx.dma_start(0, row_descs[0]);
+  if (n_col > 0) co_await ctx.dma_start(1, col_descs[0]);
+  if (n_row > 0) co_await ctx.dma_wait(0);
+  if (n_col > 0) co_await ctx.dma_wait(1);
+
+  // Phase 2: signal transfer completion; wait until every neighbour has
+  // delivered this generation's edges (Listing 2's t_iter flags).
+  for (unsigned d = 0; d < 4; ++d) {
+    if (nb.present[d]) {
+      co_await ctx.write_u32(
+          ctx.global(nb.coord[d], xfer_flag(static_cast<unsigned>(opposite(kDirs[d])))),
+          gen);
+    }
+  }
+  for (unsigned d = 0; d < 4; ++d) {
+    co_await ctx.wait_u32_ge(ctx.my_global(xfer_flag(d)), gen);
+  }
+
+  if (!corners) co_return;
+  // Diagonal corner cells for full-3x3 footprints: the same two-phase
+  // handshake against the four diagonal neighbours, then one posted word
+  // store per corner.
+  for (unsigned d = 0; d < 4; ++d) {
+    if (nb.diag_present[d]) {
+      co_await ctx.write_u32(ctx.global(nb.diag[d], diag_iter_flag(diag_opposite(d))),
+                             gen);
+    }
+  }
+  for (unsigned d = 0; d < 4; ++d) {
+    co_await ctx.wait_u32_ge(ctx.my_global(diag_iter_flag(d)), gen);
+  }
+  auto tile = ctx.local_array<float>(StencilLayout::kGrid, std::size_t{tr} * tc);
+  // My interior corner -> the diagonal neighbour's opposite halo corner.
+  const struct {
+    unsigned my_r, my_c, their_r, their_c;
+  } corner_map[4] = {{1, 1, tr - 1, tc - 1},          // to NW: their SE halo
+                     {1, cols, tr - 1, 0},            // to NE: their SW halo
+                     {rows, 1, 0, tc - 1},            // to SW: their NE halo
+                     {rows, cols, 0, 0}};             // to SE: their NW halo
+  for (unsigned d = 0; d < 4; ++d) {
+    if (!nb.diag_present[d]) continue;
+    const float v = tile[corner_map[d].my_r * tc + corner_map[d].my_c];
+    co_await ctx.write_f32(
+        ctx.global(nb.diag[d],
+                   StencilLayout::kGrid +
+                       (corner_map[d].their_r * tc + corner_map[d].their_c) * 4),
+        v);
+  }
+  for (unsigned d = 0; d < 4; ++d) {
+    if (nb.diag_present[d]) {
+      co_await ctx.write_u32(ctx.global(nb.diag[d], diag_xfer_flag(diag_opposite(d))),
+                             gen);
+    }
+  }
+  for (unsigned d = 0; d < 4; ++d) {
+    co_await ctx.wait_u32_ge(ctx.my_global(diag_xfer_flag(d)), gen);
+  }
+}
+
+sim::Op<Cycles> stencil_step(device::CoreCtx& ctx, const StencilConfig& cfg,
+                             std::vector<float>& snap) {
+  const unsigned tr = cfg.rows + 2;
+  const unsigned tc = cfg.cols + 2;
+  auto tile = ctx.local_array<float>(StencilLayout::kGrid, std::size_t{tr} * tc);
+
+  Cycles cycles = StencilSchedule::iteration_cycles(cfg.rows, cfg.cols, cfg.codegen);
+  if (cfg.shape == StencilShape::Nine) {
+    // 9 FMADDs per point instead of 5 on the same schedule skeleton.
+    cycles = cycles * 9 / 5;
+  }
+
+  snap.assign(tile.begin(), tile.end());
+  co_await ctx.compute(cycles);
+  switch (cfg.shape) {
+    case StencilShape::Star5:
+      util::stencil5_reference(snap, tile, tr, tc, cfg.weights);
+      break;
+    case StencilShape::X5:
+      util::stencilX_reference(snap, tile, tr, tc, cfg.weights);
+      break;
+    case StencilShape::Nine:
+      util::stencil9_reference(snap, tile, tr, tc, std::span<const float, 9>(cfg.weights9));
+      break;
+  }
+  co_return cycles;
+}
+
+void init_flags(host::System& sys, device::CoreCtx& ctx, const bool missing[4],
+                std::uint32_t gen0) {
+  for (unsigned d = 0; d < 4; ++d) {
+    const std::uint32_t v = missing[d] ? 0xFFFFFFFFu : gen0;
+    sys.machine().mem().write_value<std::uint32_t>(ctx.my_global(iter_flag(d)), v,
+                                                   ctx.coord());
+    sys.machine().mem().write_value<std::uint32_t>(ctx.my_global(xfer_flag(d)), v,
+                                                   ctx.coord());
+  }
+  // Diagonal flags [NW, NE, SW, SE]: missing iff either cardinal is.
+  const bool dmiss[4] = {missing[0] || missing[2], missing[0] || missing[3],
+                         missing[1] || missing[2], missing[1] || missing[3]};
+  for (unsigned d = 0; d < 4; ++d) {
+    const std::uint32_t v = dmiss[d] ? 0xFFFFFFFFu : gen0;
+    sys.machine().mem().write_value<std::uint32_t>(ctx.my_global(diag_iter_flag(d)), v,
+                                                   ctx.coord());
+    sys.machine().mem().write_value<std::uint32_t>(ctx.my_global(diag_xfer_flag(d)), v,
+                                                   ctx.coord());
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using arch::Addr;
+using detail::NeighbourInfo;
+using sim::Cycles;
+
+}  // namespace
+
+sim::Op<void> stencil_kernel(device::CoreCtx& ctx, StencilConfig cfg,
+                             StencilCoreStats* stats) {
+  if (!StencilLayout::tile_fits(cfg.rows, cfg.cols)) {
+    throw std::invalid_argument("stencil tile does not fit the 32 KB scratchpad layout");
+  }
+  // Full-3x3 footprints (X and 9-point) additionally exchange the four
+  // diagonal corner cells; the double-buffered strip variant carries only
+  // edges and cannot serve them.
+  const bool corners = cfg.shape != StencilShape::Star5;
+  if (cfg.communicate && corners && cfg.double_buffer_boundaries) {
+    throw std::invalid_argument(
+        "double-buffered boundaries do not carry the diagonal corners the "
+        "3x3 footprints need");
+  }
+
+  const unsigned tr = cfg.rows + 2;
+  const unsigned tc = cfg.cols + 2;
+  auto tile = ctx.local_array<float>(StencilLayout::kGrid, std::size_t{tr} * tc);
+  const NeighbourInfo nb = detail::find_neighbours(ctx);
+
+  // Strip buffers for the double-buffered-boundary variant: per parity, two
+  // rows (cols floats) then two columns (rows floats): N,S,W,E order.
+  const unsigned strip_floats = 2 * (cfg.cols + cfg.rows);
+  const auto strip_base = [&](unsigned parity) {
+    return StencilLayout::kHaloStrips + parity * strip_floats * 4;
+  };
+  const auto strip_off = [&](unsigned parity, unsigned dir) {
+    Addr off = strip_base(parity);
+    if (dir >= 1) off += cfg.cols * 4;  // past N row
+    if (dir >= 2) off += cfg.cols * 4;  // past S row
+    if (dir >= 3) off += cfg.rows * 4;  // past W col
+    return off;
+  };
+  if (cfg.double_buffer_boundaries && strip_base(2) > StencilLayout::kIterFlags) {
+    throw std::invalid_argument("tile too large for double-buffered boundary strips");
+  }
+
+  std::vector<float> snap;
+
+  for (std::uint32_t iter = 1; iter <= cfg.iters; ++iter) {
+    // ---- compute phase ---------------------------------------------------
+    // The double-buffer variant reads its halo from the parity strip filled
+    // during the previous iteration's transfers.
+    if (cfg.double_buffer_boundaries && cfg.communicate && iter > 1) {
+      const unsigned parity = iter % 2;
+      auto strips = ctx.local_array<float>(strip_base(parity), strip_floats);
+      std::size_t s = 0;
+      if (nb.present[0]) {
+        for (unsigned j = 0; j < cfg.cols; ++j) tile[j + 1] = strips[s + j];
+      }
+      s += cfg.cols;
+      if (nb.present[1]) {
+        for (unsigned j = 0; j < cfg.cols; ++j) {
+          tile[(tr - 1) * tc + j + 1] = strips[s + j];
+        }
+      }
+      s += cfg.cols;
+      if (nb.present[2]) {
+        for (unsigned i = 0; i < cfg.rows; ++i) tile[(i + 1) * tc] = strips[s + i];
+      }
+      s += cfg.rows;
+      if (nb.present[3]) {
+        for (unsigned i = 0; i < cfg.rows; ++i) {
+          tile[(i + 1) * tc + tc - 1] = strips[s + i];
+        }
+      }
+    }
+    const Cycles step = co_await detail::stencil_step(ctx, cfg, snap);
+    if (stats) stats->compute_cycles += step;
+
+    if (!cfg.communicate) continue;
+    const Cycles m0 = ctx.now();
+
+    if (!cfg.double_buffer_boundaries) {
+      co_await detail::exchange_halos(ctx, nb, cfg.rows, cfg.cols, iter, corners);
+    } else {
+      // Double-buffered boundaries skip phase 1 (transfers land in strips
+      // nobody is reading) -- that is the whole point of the variant.
+      const unsigned parity = (iter + 1) % 2;  // strips consumed at iter+1
+      const Addr grid_gbase = ctx.my_global(StencilLayout::kGrid);
+      const auto elem = [&](unsigned r, unsigned c) {
+        return grid_gbase + (r * tc + c) * 4;
+      };
+      dma::DmaDescriptor row_descs[2];
+      dma::DmaDescriptor col_descs[2];
+      unsigned n_row = 0;
+      unsigned n_col = 0;
+      if (nb.present[1]) {
+        co_await ctx.dma_set_desc();
+        row_descs[n_row++] = dma::DmaDescriptor::linear(
+            ctx.global(nb.coord[1], strip_off(parity, 0)), elem(cfg.rows, 1), cfg.cols * 4);
+      }
+      if (nb.present[0]) {
+        co_await ctx.dma_set_desc();
+        row_descs[n_row++] = dma::DmaDescriptor::linear(
+            ctx.global(nb.coord[0], strip_off(parity, 1)), elem(1, 1), cfg.cols * 4);
+      }
+      if (nb.present[3]) {
+        co_await ctx.dma_set_desc();
+        col_descs[n_col++] = dma::DmaDescriptor::strided(
+            ctx.global(nb.coord[3], strip_off(parity, 2)), elem(1, cfg.cols), cfg.rows, 4,
+            static_cast<std::int32_t>(tc * 4), 4, dma::ElemSize::Word);
+      }
+      if (nb.present[2]) {
+        co_await ctx.dma_set_desc();
+        col_descs[n_col++] = dma::DmaDescriptor::strided(
+            ctx.global(nb.coord[2], strip_off(parity, 3)), elem(1, 1), cfg.rows, 4,
+            static_cast<std::int32_t>(tc * 4), 4, dma::ElemSize::Word);
+      }
+      if (n_row == 2) row_descs[0].chain = &row_descs[1];
+      if (n_col == 2) col_descs[0].chain = &col_descs[1];
+      if (n_row > 0) co_await ctx.dma_start(0, row_descs[0]);
+      if (n_col > 0) co_await ctx.dma_start(1, col_descs[0]);
+      if (n_row > 0) co_await ctx.dma_wait(0);
+      if (n_col > 0) co_await ctx.dma_wait(1);
+      for (unsigned d = 0; d < 4; ++d) {
+        if (nb.present[d]) {
+          co_await ctx.write_u32(
+              ctx.global(nb.coord[d],
+                         detail::xfer_flag(static_cast<unsigned>(
+                             detail::opposite(detail::kDirs[d])))),
+              iter);
+        }
+      }
+      for (unsigned d = 0; d < 4; ++d) {
+        co_await ctx.wait_u32_ge(ctx.my_global(detail::xfer_flag(d)), iter);
+      }
+    }
+    if (stats) stats->comm_cycles += ctx.now() - m0;
+  }
+}
+
+StencilResult run_stencil(host::System& sys, unsigned group_rows, unsigned group_cols,
+                          const StencilConfig& cfg, std::span<float> grid) {
+  const unsigned gr = group_rows * cfg.rows;
+  const unsigned gc = group_cols * cfg.cols;
+  const std::size_t pitch = gc + 2;
+  if (grid.size() != static_cast<std::size_t>(gr + 2) * pitch) {
+    throw std::invalid_argument("global grid size does not match workgroup configuration");
+  }
+  if (!StencilLayout::tile_fits(cfg.rows, cfg.cols)) {
+    throw std::invalid_argument("stencil tile does not fit the 32 KB scratchpad layout");
+  }
+
+  auto wg = sys.open(0, 0, group_rows, group_cols);
+  const unsigned tr = cfg.rows + 2;
+  const unsigned tc = cfg.cols + 2;
+
+  // Scatter halo-inclusive tiles and initialise the flag words. Missing
+  // neighbours' flags are pre-satisfied (0xFFFFFFFF), as the loader would.
+  std::vector<float> tilebuf(static_cast<std::size_t>(tr) * tc);
+  for (unsigned pr = 0; pr < group_rows; ++pr) {
+    for (unsigned pc = 0; pc < group_cols; ++pc) {
+      auto& ctx = wg.ctx(pr, pc);
+      for (unsigned i = 0; i < tr; ++i) {
+        for (unsigned j = 0; j < tc; ++j) {
+          tilebuf[i * tc + j] = grid[(pr * cfg.rows + i) * pitch + pc * cfg.cols + j];
+        }
+      }
+      sys.write_array<float>(ctx.my_global(StencilLayout::kGrid),
+                             std::span<const float>(tilebuf));
+      const bool missing[4] = {pr == 0, pr + 1 == group_rows, pc == 0,
+                               pc + 1 == group_cols};
+      detail::init_flags(sys, ctx, missing);
+    }
+  }
+
+  std::vector<StencilCoreStats> stats(wg.size());
+  wg.load([&cfg, &stats](device::CoreCtx& ctx) -> sim::Op<void> {
+    return stencil_kernel(ctx, cfg, &stats[ctx.group_index()]);
+  });
+  const sim::Cycles cycles = wg.run();
+
+  // Gather interiors back into the global grid.
+  for (unsigned pr = 0; pr < group_rows; ++pr) {
+    for (unsigned pc = 0; pc < group_cols; ++pc) {
+      auto& ctx = wg.ctx(pr, pc);
+      sys.read_array<float>(ctx.my_global(StencilLayout::kGrid), std::span<float>(tilebuf));
+      for (unsigned i = 1; i + 1 < tr; ++i) {
+        for (unsigned j = 1; j + 1 < tc; ++j) {
+          grid[(pr * cfg.rows + i) * pitch + pc * cfg.cols + j] = tilebuf[i * tc + j];
+        }
+      }
+    }
+  }
+
+  StencilResult r;
+  r.cycles = cycles;
+  r.flops =
+      StencilSchedule::iteration_flops(cfg.rows, cfg.cols) * cfg.iters * group_rows * group_cols;
+  if (cfg.shape == StencilShape::Nine) r.flops = r.flops * 9 / 5;
+  r.gflops = sys.gflops(r.flops, cycles);
+  double frac = 0.0;
+  for (const auto& s : stats) {
+    const double tot = static_cast<double>(s.compute_cycles + s.comm_cycles);
+    frac += tot > 0 ? static_cast<double>(s.compute_cycles) / tot : 1.0;
+  }
+  r.compute_fraction = frac / static_cast<double>(stats.size());
+  return r;
+}
+
+StencilExperiment run_stencil_experiment(host::System& sys, unsigned group_rows,
+                                         unsigned group_cols, const StencilConfig& cfg,
+                                         std::uint64_t seed, bool verify) {
+  const unsigned gr = group_rows * cfg.rows;
+  const unsigned gc = group_cols * cfg.cols;
+  std::vector<float> grid(static_cast<std::size_t>(gr + 2) * (gc + 2));
+  util::fill_random(grid, seed);
+  std::vector<float> ref;
+  if (verify) ref.assign(grid.begin(), grid.end());
+
+  StencilExperiment ex;
+  ex.result = run_stencil(sys, group_rows, group_cols, cfg, grid);
+  if (verify) {
+    switch (cfg.shape) {
+      case StencilShape::Star5:
+        util::stencil5_reference_iterate(ref, gr + 2, gc + 2, cfg.weights, cfg.iters);
+        break;
+      case StencilShape::X5:
+      case StencilShape::Nine: {
+        std::vector<float> tmp(ref);
+        for (unsigned it = 0; it < cfg.iters; ++it) {
+          if (cfg.shape == StencilShape::X5) {
+            util::stencilX_reference(ref, tmp, gr + 2, gc + 2, cfg.weights);
+          } else {
+            util::stencil9_reference(ref, tmp, gr + 2, gc + 2,
+                                     std::span<const float, 9>(cfg.weights9));
+          }
+          for (std::size_t i = 1; i + 1 < gr + 2u; ++i) {
+            for (std::size_t j = 1; j + 1 < gc + 2u; ++j) {
+              ref[i * (gc + 2) + j] = tmp[i * (gc + 2) + j];
+            }
+          }
+        }
+        break;
+      }
+    }
+    ex.max_error = util::max_abs_diff(grid, ref);
+    ex.verified = ex.max_error == 0.0f;
+  }
+  return ex;
+}
+
+}  // namespace epi::core

@@ -1,0 +1,204 @@
+#include "core/stencil_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/stencil_detail.hpp"
+#include "dma/descriptor.hpp"
+
+namespace epi::core {
+
+namespace {
+
+using arch::Addr;
+using detail::NeighbourInfo;
+using sim::Cycles;
+
+struct PipePlan {
+  unsigned n = 0;           // global interior edge
+  unsigned window = 0;      // L = tile_interior + 2
+  unsigned per_core = 0;    // tile_interior / group
+  unsigned out_edge = 0;    // S
+  unsigned blocks = 0;      // N / S per axis
+  unsigned batches = 0;
+  Addr buf[2] = {0, 0};     // ping-pong DRAM grids, (n+2)^2 floats each
+};
+
+/// The per-core streaming kernel: for every batch and supertile, page the
+/// core's window tile in, run up to `depth` iterations with on-chip halo
+/// exchange (skipping the exchange after the final one -- those edges are
+/// never read), and page the core's slice of the exact output region out.
+sim::Op<void> pipeline_kernel(device::CoreCtx& ctx, StencilPipelineConfig cfg,
+                              PipePlan plan) {
+  const unsigned tp = plan.per_core;
+  const unsigned tr = tp + 2;
+  const NeighbourInfo nb = detail::find_neighbours(ctx);
+  const unsigned pr = ctx.group_row();
+  const unsigned pc = ctx.group_col();
+  const std::uint32_t pitch = plan.n + 2;  // DRAM grid row, in floats
+
+  StencilConfig step_cfg;
+  step_cfg.rows = tp;
+  step_cfg.cols = tp;
+  step_cfg.weights = cfg.weights;
+  step_cfg.codegen = cfg.codegen;
+
+  std::vector<float> snap;
+  std::uint32_t gen = 0;
+  const auto clamp_window = [&](unsigned block) {
+    const long ideal = static_cast<long>(block) * plan.out_edge + 1 - cfg.depth;
+    const long max_start = static_cast<long>(plan.n) + 2 - plan.window;
+    return static_cast<std::uint32_t>(std::clamp(ideal, 0L, max_start));
+  };
+
+  unsigned done = 0;
+  for (unsigned batch = 0; batch < plan.batches; ++batch) {
+    const Addr in = plan.buf[batch % 2];
+    const Addr out = plan.buf[(batch + 1) % 2];
+    const unsigned depth_b = std::min(cfg.depth, cfg.iters - done);
+
+    for (unsigned sbr = 0; sbr < plan.blocks; ++sbr) {
+      for (unsigned sbc = 0; sbc < plan.blocks; ++sbc) {
+        const std::uint32_t wr = clamp_window(sbr);
+        const std::uint32_t wc = clamp_window(sbc);
+
+        // Page in my (tp+2)^2 tile of the window, halo ring included.
+        const Addr src = in + ((wr + pr * tp) * pitch + wc + pc * tp) * 4;
+        co_await ctx.dma_set_desc();
+        auto din = dma::DmaDescriptor::strided(
+            ctx.my_global(StencilLayout::kGrid), src, tr, tr * 4,
+            static_cast<std::int32_t>(pitch * 4), static_cast<std::int32_t>(tr * 4),
+            dma::ElemSize::Word);
+        co_await ctx.dma_start(0, din);
+        co_await ctx.dma_wait(0);
+
+        for (unsigned it = 1; it <= depth_b; ++it) {
+          (void)co_await detail::stencil_step(ctx, step_cfg, snap);
+          if (it < depth_b) {
+            ++gen;
+            co_await detail::exchange_halos(ctx, nb, tp, tp, gen);
+          }
+        }
+
+        // Write back my slice of the exact output region: the intersection
+        // of my tile interior with [sb*S+1, sb*S+1+S) on each axis.
+        const std::uint32_t my_r0 = wr + 1 + pr * tp;
+        const std::uint32_t my_c0 = wc + 1 + pc * tp;
+        const std::uint32_t out_r0 = std::max(my_r0, sbr * plan.out_edge + 1);
+        const std::uint32_t out_r1 =
+            std::min(my_r0 + tp, (sbr + 1) * plan.out_edge + 1);
+        const std::uint32_t out_c0 = std::max(my_c0, sbc * plan.out_edge + 1);
+        const std::uint32_t out_c1 =
+            std::min(my_c0 + tp, (sbc + 1) * plan.out_edge + 1);
+        if (out_r0 < out_r1 && out_c0 < out_c1) {
+          const std::uint32_t rows = out_r1 - out_r0;
+          const std::uint32_t cols = out_c1 - out_c0;
+          const Addr tile_src = ctx.my_global(
+              StencilLayout::kGrid +
+              ((out_r0 - my_r0 + 1) * tr + (out_c0 - my_c0 + 1)) * 4);
+          const Addr dram_dst = out + (out_r0 * pitch + out_c0) * 4;
+          co_await ctx.dma_set_desc();
+          auto dout = dma::DmaDescriptor::strided(
+              dram_dst, tile_src, rows, cols * 4, static_cast<std::int32_t>(tr * 4),
+              static_cast<std::int32_t>(pitch * 4), dma::ElemSize::Word);
+          co_await ctx.dma_start(1, dout);
+          co_await ctx.dma_wait(1);
+        }
+      }
+    }
+    done += depth_b;
+    // The output grid becomes the next batch's input: every write-back must
+    // land before anyone reads.
+    co_await ctx.barrier();
+  }
+}
+
+}  // namespace
+
+StencilPipelineResult run_stencil_pipeline(host::System& sys, unsigned n_interior,
+                                           const StencilPipelineConfig& cfg,
+                                           std::uint64_t seed, bool verify) {
+  if (cfg.tile_interior == 0 || cfg.tile_interior % cfg.group != 0) {
+    throw std::invalid_argument("tile_interior must be a positive multiple of group");
+  }
+  if (cfg.tile_interior + 2 <= 2 * cfg.depth) {
+    throw std::invalid_argument("depth too large: window has no exact output region");
+  }
+  const unsigned s = cfg.out_edge();
+  if (n_interior % s != 0) {
+    throw std::invalid_argument("grid edge must be a multiple of the output edge S");
+  }
+  if (cfg.tile_interior + 2 > n_interior + 2) {
+    throw std::invalid_argument("window larger than the grid");
+  }
+  const unsigned per_core = cfg.tile_interior / cfg.group;
+  if (!StencilLayout::tile_fits(per_core, per_core)) {
+    throw std::invalid_argument("per-core window tile does not fit the scratchpad");
+  }
+
+  PipePlan plan;
+  plan.n = n_interior;
+  plan.window = cfg.tile_interior + 2;
+  plan.per_core = per_core;
+  plan.out_edge = s;
+  plan.blocks = n_interior / s;
+  plan.batches = (cfg.iters + cfg.depth - 1) / cfg.depth;
+
+  const std::size_t grid_floats = static_cast<std::size_t>(n_interior + 2) * (n_interior + 2);
+  sys.shm_reset();
+  plan.buf[0] = sys.shm_alloc(grid_floats * 4);
+  plan.buf[1] = sys.shm_alloc(grid_floats * 4);
+
+  std::vector<float> grid(grid_floats);
+  util::fill_random(grid, seed);
+  sys.write_array<float>(plan.buf[0], std::span<const float>(grid));
+  // The fixed boundary ring never changes; pre-place it in both buffers so
+  // ping-ponging preserves it.
+  sys.write_array<float>(plan.buf[1], std::span<const float>(grid));
+
+  auto wg = sys.open(0, 0, cfg.group, cfg.group);
+  for (unsigned r = 0; r < cfg.group; ++r) {
+    for (unsigned c = 0; c < cfg.group; ++c) {
+      const bool missing[4] = {r == 0, r + 1 == cfg.group, c == 0, c + 1 == cfg.group};
+      detail::init_flags(sys, wg.ctx(r, c), missing);
+    }
+  }
+
+  const std::uint64_t rd0 = sys.machine().elink_read().total_bytes_served();
+  const std::uint64_t wr0 = sys.machine().elink_write().total_bytes_served();
+  wg.load([&cfg, &plan](device::CoreCtx& ctx) -> sim::Op<void> {
+    return pipeline_kernel(ctx, cfg, plan);
+  });
+
+  StencilPipelineResult res;
+  res.cycles = wg.run();
+  res.dram_read_bytes = sys.machine().elink_read().total_bytes_served() - rd0;
+  res.dram_write_bytes = sys.machine().elink_write().total_bytes_served() - wr0;
+
+  const double useful = 10.0 * n_interior * n_interior * cfg.iters;
+  res.useful_gflops = sys.gflops(useful, res.cycles);
+  const double window_flops = 10.0 * cfg.tile_interior * cfg.tile_interior;
+  double computed = 0.0;
+  unsigned done = 0;
+  for (unsigned b = 0; b < plan.batches; ++b) {
+    const unsigned depth_b = std::min(cfg.depth, cfg.iters - done);
+    computed += window_flops * depth_b * plan.blocks * plan.blocks;
+    done += depth_b;
+  }
+  res.redundancy = computed / useful;
+
+  if (verify) {
+    const Addr final_buf = plan.buf[plan.batches % 2];
+    std::vector<float> result(grid_floats);
+    sys.read_array<float>(final_buf, std::span<float>(result));
+    util::stencil5_reference_iterate(grid, n_interior + 2, n_interior + 2, cfg.weights,
+                                     cfg.iters);
+    res.max_error = util::max_abs_diff(result, grid);
+    res.verified = res.max_error == 0.0f;
+  } else {
+    res.verified = true;
+  }
+  return res;
+}
+
+}  // namespace epi::core

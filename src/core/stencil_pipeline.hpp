@@ -1,0 +1,65 @@
+#pragma once
+// Temporal-blocking pipelined stencil -- the paper's named future work
+// (section IX): "a pipelined algorithm for stencil computation using both
+// spatial and temporal blocking in order to process much higher grid sizes
+// ... computation is performed for a number of iterations before the data
+// is moved out of the local memory and new data is brought in."
+//
+// Grids far larger than the chip's 2 MB of scratchpad stream through the
+// workgroup in overlapped supertiles:
+//   * each supertile's DRAM window is L x L cells (L = tile_interior + 2);
+//     the outermost ring is frozen while resident, exactly like the global
+//     boundary ring of the resident-grid kernel;
+//   * the workgroup computes `depth` (T) iterations with ordinary on-chip
+//     halo exchange between its cores;
+//   * after T iterations, cells at distance >= T from the window edge are
+//     bit-exact; that S x S region (S = L - 2T) is written back. Windows
+//     clamp at the global boundary, where the frozen ring coincides with
+//     the true fixed ring, so clamped sides are exact at any distance.
+//   * input and output DRAM grids ping-pong between batches of T
+//     iterations.
+//
+// T = 1 degenerates to naive streaming (page in, one update, page out),
+// which is the transfer-bound baseline; larger T amortises the 150 MB/s
+// eLink traffic over T updates at the price of redundant computation on the
+// window overlap. Results are bit-identical to the host reference for
+// every T -- verified in tests.
+
+#include <cstdint>
+
+#include "core/stencil.hpp"
+
+namespace epi::core {
+
+struct StencilPipelineConfig {
+  unsigned group = 8;          // g x g workgroup
+  unsigned tile_interior = 0;  // L - 2: window interior edge, divisible by group
+  unsigned depth = 1;          // T: iterations per residency
+  unsigned iters = 16;         // total iterations (last batch may be short)
+  util::StencilWeights weights{};
+  Codegen codegen = Codegen::TunedAsm;
+
+  /// Output region edge per supertile.
+  [[nodiscard]] unsigned out_edge() const noexcept {
+    return tile_interior + 2 - 2 * depth;
+  }
+};
+
+struct StencilPipelineResult {
+  sim::Cycles cycles = 0;
+  double useful_gflops = 0.0;   // N^2 * 10 * iters / time
+  double redundancy = 1.0;      // computed flops / useful flops
+  std::uint64_t dram_read_bytes = 0;
+  std::uint64_t dram_write_bytes = 0;
+  bool verified = false;
+  float max_error = 0.0f;
+};
+
+/// Run `cfg.iters` stencil iterations over an (n_interior x n_interior)
+/// grid resident in shared DRAM. Requires n_interior % cfg.out_edge() == 0,
+/// cfg.tile_interior % cfg.group == 0, and the window to fit the grid.
+StencilPipelineResult run_stencil_pipeline(host::System& sys, unsigned n_interior,
+                                           const StencilPipelineConfig& cfg,
+                                           std::uint64_t seed, bool verify);
+
+}  // namespace epi::core

@@ -1,0 +1,49 @@
+#include "core/stencil_schedule.hpp"
+
+namespace epi::core {
+
+namespace {
+
+/// Cycles for one two-row pass over a stripe of width `w`. Stripes after
+/// the first pay a small per-pass penalty: their boundary columns sit
+/// mid-row, so the edge loads no longer fold into spare issue slots.
+sim::Cycles pair_cycles(unsigned w, bool first_stripe) {
+  if (w >= StencilSchedule::kStripeWidth) {
+    return StencilSchedule::kPairCyclesFull + (first_stripe ? 0 : 7);
+  }
+  // Ragged stripe: 10 cycles per point-pair of FMADDs, but the loads,
+  // stores and accumulator clears no longer fit the spare issue slots of a
+  // 20-wide run; the residue costs ~12 extra cycles plus the branch.
+  return 10ull * w + 12 + 5;
+}
+
+}  // namespace
+
+sim::Cycles StencilSchedule::iteration_cycles(unsigned rows, unsigned cols, Codegen cg) {
+  if (rows == 0 || cols == 0) return 0;
+  if (cg == Codegen::CCompiler) {
+    // e-gcc keeps the loop structure but cannot sustain dual-issued FMADD
+    // streams: flat fraction-of-peak model.
+    const double fmadd_cycles = 5.0 * rows * cols;  // one FMADD per point per tap
+    return static_cast<sim::Cycles>(fmadd_cycles / kCCompilerEfficiency) + kIterFixed;
+  }
+
+  sim::Cycles total = kIterFixed;
+  unsigned remaining = cols;
+  bool first = true;
+  while (remaining > 0) {
+    const unsigned w = remaining >= kStripeWidth ? kStripeWidth : remaining;
+    remaining -= w;
+    total += kStripePrologue;
+    const unsigned pairs = rows / 2;
+    total += pairs * pair_cycles(w, first);
+    if (rows % 2 != 0) {
+      // Odd final row: half a loop body plus its own branch.
+      total += pair_cycles(w, first) / 2 + 5;
+    }
+    first = false;
+  }
+  return total;
+}
+
+}  // namespace epi::core

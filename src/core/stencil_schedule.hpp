@@ -1,0 +1,51 @@
+#pragma once
+// Cycle-cost model of the paper's hand-tuned 5-point stencil inner loop
+// (section VI, "Attaining Peak Performance" / "Use of row stripes").
+//
+// The schedule the paper describes:
+//   * the grid is processed in row stripes 20 points wide;
+//   * two rows of a stripe are processed per unrolled loop body: 200 FMADD
+//     instructions in ~200 cycles with all loads/stores dual-issued into
+//     spare integer slots, plus a 4-5 cycle decrement-and-branch penalty;
+//   * each stripe pre-loads 44 registers (two rows + boundary values);
+//   * ragged final stripes (width < 20) cannot hide their data movement and
+//     run at reduced efficiency.
+//
+// Calibration targets: 0.97-1.14 GFLOPS single-core over the Figure 5 grid
+// shapes (81-95% of the 1.2 GFLOPS per-core peak), with rows>cols shapes
+// slightly ahead of their transposes.
+
+#include <cstdint>
+
+#include "core/codegen.hpp"
+#include "sim/engine.hpp"
+
+namespace epi::core {
+
+struct StencilSchedule {
+  /// Stripe width the paper chose from register pressure (20 points).
+  static constexpr unsigned kStripeWidth = 20;
+  /// FMADD cycles for one two-row pass over a full-width stripe (200 FMADDs)
+  /// plus the decrement-and-branch penalty.
+  static constexpr unsigned kPairCyclesFull = 205;
+  /// Register preload at the top of each stripe: 22 dword loads of grid
+  /// data plus pointer setup.
+  static constexpr unsigned kStripePrologue = 64;
+  /// Per-iteration fixed cost: call, timer reads, pointer re-init.
+  static constexpr unsigned kIterFixed = 250;
+  /// e-gcc fraction of peak before the assembly rewrite ("a small fraction
+  /// of peak"; we use 25%).
+  static constexpr double kCCompilerEfficiency = 0.25;
+
+  /// Cycles for one full update of a rows x cols interior tile resident in
+  /// scratchpad. Functional results are computed separately; this is the
+  /// time the modelled instruction stream takes.
+  [[nodiscard]] static sim::Cycles iteration_cycles(unsigned rows, unsigned cols, Codegen cg);
+
+  /// Flops of one update (5 FMADDs, i.e. 10 flops, per interior point).
+  [[nodiscard]] static double iteration_flops(unsigned rows, unsigned cols) {
+    return 10.0 * rows * cols;
+  }
+};
+
+}  // namespace epi::core

@@ -1,0 +1,36 @@
+#pragma once
+// On-chip SUMMA (van de Geijn & Watts), the alternative the paper's related
+// work highlights for its lower per-node workspace (section VIII). Each
+// step t broadcasts column-t blocks of A along workgroup rows and row-t
+// blocks of B along workgroup columns, then every core accumulates a local
+// block product. Implemented as an extension so the ablation bench can
+// compare broadcast-based against rotation-based (Cannon) communication on
+// the mesh.
+//
+// Scratchpad layout (3 KB slots):
+//   0x4000 A home   0x4C00 A panel   0x5800 B home   0x6400 B panel
+//   0x7000 C        flags at 0x3F00 (as matmul)
+
+#include <cstdint>
+
+#include "core/matmul.hpp"
+
+namespace epi::core {
+
+struct SummaLayout {
+  static constexpr arch::Addr kA = 0x4000;
+  static constexpr arch::Addr kPanelA = 0x4C00;
+  static constexpr arch::Addr kB = 0x5800;
+  static constexpr arch::Addr kPanelB = 0x6400;
+  static constexpr arch::Addr kC = 0x7000;
+  static constexpr arch::Addr kFlagPanelA = 0x3F10;
+  static constexpr arch::Addr kFlagPanelB = 0x3F14;
+  /// 3 KB slots cap the block edge at 27; we require even sizes <= 26.
+  static constexpr unsigned kMaxBlock = 26;
+};
+
+/// Multiply (g*b)^2 matrices on a g x g workgroup via SUMMA.
+MatmulOnChipResult run_matmul_summa(host::System& sys, unsigned group, unsigned block,
+                                    Codegen cg, std::uint64_t seed, bool verify);
+
+}  // namespace epi::core

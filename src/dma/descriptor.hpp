@@ -1,0 +1,75 @@
+#pragma once
+// DMA descriptors, modelled on the eSDK's e_dma_set_desc() (used verbatim in
+// the paper's Listing 2): 2D transfers defined by inner/outer counts and
+// per-element post-increment strides, an element size (BYTE..DWORD), and an
+// optional chain pointer so one e_dma_start() can walk a descriptor list.
+
+#include <cstdint>
+
+#include "arch/address_map.hpp"
+
+namespace epi::dma {
+
+/// Element width of each DMA transaction (config word in the eSDK).
+enum class ElemSize : std::uint8_t { Byte = 1, HWord = 2, Word = 4, DWord = 8 };
+
+struct DmaDescriptor {
+  arch::Addr src = 0;
+  arch::Addr dst = 0;
+  ElemSize elem = ElemSize::Word;
+  /// Inner loop: `inner_count` elements; strides applied after each element.
+  std::uint32_t inner_count = 0;
+  std::int32_t src_inner_stride = 0;  // bytes
+  std::int32_t dst_inner_stride = 0;
+  /// Outer loop: `outer_count` inner loops; outer strides applied after
+  /// each completed inner loop (on top of accumulated inner strides).
+  std::uint32_t outer_count = 1;
+  std::int32_t src_outer_stride = 0;
+  std::int32_t dst_outer_stride = 0;
+  /// Next descriptor in the chain (E_DMA_CHAIN), or nullptr.
+  const DmaDescriptor* chain = nullptr;
+
+  [[nodiscard]] std::uint64_t total_elements() const noexcept {
+    return static_cast<std::uint64_t>(inner_count) * outer_count;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_elements() * static_cast<std::uint8_t>(elem);
+  }
+
+  /// Contiguous 1D copy of `bytes` using the widest-aligned element size.
+  static DmaDescriptor linear(arch::Addr dst, arch::Addr src, std::uint32_t bytes) {
+    DmaDescriptor d;
+    d.src = src;
+    d.dst = dst;
+    const bool dword_ok = bytes % 8 == 0 && src % 8 == 0 && dst % 8 == 0;
+    d.elem = dword_ok ? ElemSize::DWord : ElemSize::Word;
+    const auto esz = static_cast<std::uint32_t>(static_cast<std::uint8_t>(d.elem));
+    d.inner_count = bytes / esz;
+    d.src_inner_stride = static_cast<std::int32_t>(esz);
+    d.dst_inner_stride = static_cast<std::int32_t>(esz);
+    return d;
+  }
+
+  /// Strided 2D copy: `rows` rows of `row_bytes`, with distinct row pitches
+  /// on each side (the paper's left/right stencil column transfers).
+  static DmaDescriptor strided(arch::Addr dst, arch::Addr src, std::uint32_t rows,
+                               std::uint32_t row_bytes, std::int32_t src_pitch,
+                               std::int32_t dst_pitch, ElemSize elem) {
+    DmaDescriptor d;
+    d.src = src;
+    d.dst = dst;
+    d.elem = elem;
+    const auto esz = static_cast<std::int32_t>(static_cast<std::uint8_t>(elem));
+    d.inner_count = row_bytes / static_cast<std::uint32_t>(esz);
+    d.src_inner_stride = esz;
+    d.dst_inner_stride = esz;
+    d.outer_count = rows;
+    // Outer stride is applied on top of the accumulated inner strides, as in
+    // the eSDK: it is the jump from one row's end to the next row's start.
+    d.src_outer_stride = src_pitch - static_cast<std::int32_t>(row_bytes);
+    d.dst_outer_stride = dst_pitch - static_cast<std::int32_t>(row_bytes);
+    return d;
+  }
+};
+
+}  // namespace epi::dma

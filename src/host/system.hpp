@@ -1,0 +1,169 @@
+#pragma once
+// Host-side programming interface (paper section III, "steps required to
+// execute a program"): the ARM host opens a workgroup, loads a kernel onto
+// each eCore, signals start, exchanges data through core memory or the
+// shared window, and waits for completion.
+//
+// Host actions happen *between* simulation events and are not charged device
+// cycles -- mirroring the paper's measurement methodology, which excludes
+// host-side setup (e.g. "does not include the time taken to transfer the
+// initial operand matrices") from device GFLOPS.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.hpp"
+#include "arch/timing.hpp"
+#include "device/core_ctx.hpp"
+#include "machine/machine.hpp"
+#include "sim/task.hpp"
+
+namespace epi::host {
+
+class System;
+
+/// A rectangular group of eCores running one kernel each (e_open/e_load/
+/// e_start in the eSDK).
+class Workgroup {
+public:
+  Workgroup(machine::Machine& m, device::GroupInfo info) : m_(&m), info_(info) {
+    ctxs_.reserve(info.size());
+    for (unsigned r = 0; r < info.rows; ++r) {
+      for (unsigned c = 0; c < info.cols; ++c) {
+        ctxs_.push_back(std::make_unique<device::CoreCtx>(
+            m, arch::CoreCoord{info.origin.row + r, info.origin.col + c}, info));
+      }
+    }
+  }
+
+  [[nodiscard]] const device::GroupInfo& info() const noexcept { return info_; }
+  [[nodiscard]] unsigned size() const noexcept { return info_.size(); }
+  [[nodiscard]] device::CoreCtx& ctx(unsigned group_row, unsigned group_col) {
+    if (!info_.contains_group_coord(group_row, group_col)) {
+      throw std::out_of_range("group coordinate outside workgroup");
+    }
+    return *ctxs_[group_row * info_.cols + group_col];
+  }
+
+  /// Load the same kernel onto every core of the group.
+  void load(device::KernelFn kernel) { kernel_ = std::move(kernel); }
+
+  /// Signal all cores to begin executing the loaded kernel. Each core's
+  /// status word is cleared, then set (with a watched store) on completion.
+  void start() {
+    if (!kernel_) throw std::logic_error("Workgroup::start without a loaded kernel");
+    procs_.clear();
+    for (auto& ctx : ctxs_) {
+      m_->mem().write_value<std::uint32_t>(
+          ctx->my_global(device::CoreCtx::kStatusOffset), 0, ctx->coord());
+      procs_.push_back(sim::spawn(m_->engine(), run_kernel(*ctx)));
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept {
+    for (const auto& p : procs_) {
+      if (!p.done()) return false;
+    }
+    return !procs_.empty();
+  }
+
+  /// Drive the simulation until every core in the group has finished.
+  /// Propagates the first kernel exception encountered.
+  void wait() {
+    while (!done()) {
+      for (const auto& p : procs_) p.rethrow_if_error();
+      if (!m_->engine().step()) {
+        throw sim::DeadlockError(m_->engine().live_processes());
+      }
+    }
+    for (const auto& p : procs_) p.rethrow_if_error();
+  }
+
+  /// start() + wait(), returning elapsed device cycles.
+  sim::Cycles run() {
+    const sim::Cycles t0 = m_->engine().now();
+    start();
+    wait();
+    return m_->engine().now() - t0;
+  }
+
+private:
+  sim::Op<void> run_kernel(device::CoreCtx& ctx) {
+    co_await kernel_(ctx);
+    // Completion signal: a real kernel's final act is a status store the
+    // host (or sibling cores) can observe.
+    m_->mem().write_value<std::uint32_t>(ctx.my_global(device::CoreCtx::kStatusOffset), 1,
+                                         ctx.coord());
+  }
+
+  machine::Machine* m_;
+  device::GroupInfo info_;
+  std::vector<std::unique_ptr<device::CoreCtx>> ctxs_;
+  device::KernelFn kernel_;
+  std::vector<sim::Process> procs_;
+};
+
+class System {
+public:
+  explicit System(arch::MachineConfig cfg = {}) : machine_(cfg) {}
+
+  [[nodiscard]] machine::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return machine_.engine(); }
+  [[nodiscard]] const arch::TimingParams& timing() const noexcept { return machine_.timing(); }
+
+  /// e_open: place a rows x cols workgroup with its top-left core at
+  /// (origin_row, origin_col).
+  [[nodiscard]] Workgroup open(unsigned origin_row, unsigned origin_col, unsigned rows,
+                               unsigned cols) {
+    const device::GroupInfo info{{origin_row, origin_col}, rows, cols};
+    if (origin_row + rows > machine_.dims().rows ||
+        origin_col + cols > machine_.dims().cols || rows == 0 || cols == 0) {
+      throw std::out_of_range("workgroup does not fit on the mesh");
+    }
+    return Workgroup(machine_, info);
+  }
+
+  // ---- shared external memory (bump allocator over the 32 MB window) ----
+  [[nodiscard]] arch::Addr shm_alloc(std::size_t bytes, std::size_t align = 8) {
+    shm_brk_ = (shm_brk_ + align - 1) / align * align;
+    const auto& map = machine_.mem().map();
+    if (shm_brk_ + bytes > map.external_bytes) {
+      throw std::bad_alloc();
+    }
+    const arch::Addr a = map.external_base + static_cast<arch::Addr>(shm_brk_);
+    shm_brk_ += bytes;
+    return a;
+  }
+  void shm_reset() noexcept { shm_brk_ = 0; }
+
+  // ---- host <-> device data movement (functional; host time untimed) ----
+  void write(arch::Addr global, std::span<const std::byte> src) {
+    machine_.mem().write_bytes(global, src, {0, 0});
+  }
+  void read(arch::Addr global, std::span<std::byte> dst) {
+    machine_.mem().read_bytes(global, dst, {0, 0});
+  }
+  template <typename T>
+  void write_array(arch::Addr global, std::span<const T> src) {
+    write(global, std::as_bytes(src));
+  }
+  template <typename T>
+  void read_array(arch::Addr global, std::span<T> dst) {
+    read(global, std::as_writable_bytes(dst));
+  }
+
+  [[nodiscard]] double seconds(sim::Cycles c) const noexcept { return timing().seconds(c); }
+  [[nodiscard]] double gflops(double flops, sim::Cycles c) const noexcept {
+    return timing().gflops(flops, c);
+  }
+
+private:
+  machine::Machine machine_;
+  std::size_t shm_brk_ = 0;
+};
+
+}  // namespace epi::host

@@ -1,0 +1,230 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <vector>
+
+namespace epi::isa {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(std::string_view line) {
+  // Strip comment.
+  if (const auto semi = line.find(';'); semi != std::string_view::npos) {
+    line = line.substr(0, semi);
+  }
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else if (c == '[' || c == ']') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      out.push_back(std::string(1, c));
+    } else {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+unsigned parse_reg(const std::string& t, unsigned line) {
+  if (t.size() < 2 || t[0] != 'r') throw AssemblyError(line, "expected register, got '" + t + "'");
+  unsigned v = 0;
+  const auto [p, ec] = std::from_chars(t.data() + 1, t.data() + t.size(), v);
+  if (ec != std::errc{} || p != t.data() + t.size() || v >= RegFile::kCount) {
+    throw AssemblyError(line, "bad register '" + t + "'");
+  }
+  return v;
+}
+
+std::int32_t parse_imm(const std::string& t, unsigned line) {
+  if (t.empty() || t[0] != '#') throw AssemblyError(line, "expected immediate, got '" + t + "'");
+  std::string_view body(t.data() + 1, t.size() - 1);
+  int base = 10;
+  if (body.size() > 2 && body[0] == '0' && body[1] == 'x') {
+    base = 16;
+    body.remove_prefix(2);
+  }
+  bool neg = false;
+  if (!body.empty() && body[0] == '-') {
+    neg = true;
+    body.remove_prefix(1);
+  }
+  // Parse the magnitude as unsigned so full 32-bit hex patterns (e.g. float
+  // bit images) are accepted, then wrap into the signed immediate.
+  std::uint32_t mag = 0;
+  const auto [p, ec] = std::from_chars(body.data(), body.data() + body.size(), mag, base);
+  if (ec != std::errc{} || p != body.data() + body.size()) {
+    throw AssemblyError(line, "bad immediate '" + t + "'");
+  }
+  const auto v = static_cast<std::int32_t>(mag);
+  return neg ? -v : v;
+}
+
+/// Parse the "[rn, #imm]" / "[rn], #imm" tail of a memory instruction.
+void parse_mem_operand(const std::vector<std::string>& tok, std::size_t i, unsigned line,
+                       Instruction& ins) {
+  if (i >= tok.size() || tok[i] != "[") throw AssemblyError(line, "expected '['");
+  ++i;
+  if (i >= tok.size()) throw AssemblyError(line, "expected base register");
+  ins.rn = static_cast<std::uint8_t>(parse_reg(tok[i], line));
+  ++i;
+  if (i < tok.size() && tok[i] == "]") {
+    // Postmodify: "[rn], #imm" (or bare "[rn]" meaning offset 0).
+    ++i;
+    if (i < tok.size()) {
+      ins.postmodify = true;
+      ins.imm = parse_imm(tok[i], line);
+      ++i;
+    } else {
+      ins.imm = 0;
+    }
+  } else if (i < tok.size()) {
+    // Displacement: "[rn, #imm]".
+    ins.imm = parse_imm(tok[i], line);
+    ++i;
+    if (i >= tok.size() || tok[i] != "]") throw AssemblyError(line, "expected ']'");
+    ++i;
+  } else {
+    throw AssemblyError(line, "unterminated memory operand");
+  }
+  if (i != tok.size()) throw AssemblyError(line, "trailing tokens after memory operand");
+}
+
+const std::map<std::string, Opcode, std::less<>> kMnemonics = {
+    {"fmadd", Opcode::Fmadd}, {"fmul", Opcode::Fmul}, {"fadd", Opcode::Fadd},
+    {"fsub", Opcode::Fsub},   {"mov", Opcode::MovImm} /* resolved below */,
+    {"add", Opcode::Add},     {"sub", Opcode::Sub},   {"ldr", Opcode::Ldr},
+    {"ldrd", Opcode::Ldrd},   {"str", Opcode::Str},   {"strd", Opcode::Strd},
+    {"b", Opcode::B},         {"bne", Opcode::Bne},   {"beq", Opcode::Beq},
+    {"halt", Opcode::Halt},
+};
+
+}  // namespace
+
+Program assemble(std::string_view text) {
+  struct Pending {
+    std::size_t instr_index;
+    std::string label;
+    unsigned line;
+  };
+  Program prog;
+  std::map<std::string, std::int32_t, std::less<>> labels;
+  std::vector<Pending> fixups;
+
+  unsigned line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    auto tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    // Labels (possibly several, possibly followed by an instruction).
+    while (!tok.empty() && tok[0].back() == ':') {
+      std::string label = tok[0].substr(0, tok[0].size() - 1);
+      if (label.empty()) throw AssemblyError(line_no, "empty label");
+      if (!labels.emplace(label, static_cast<std::int32_t>(prog.code.size())).second) {
+        throw AssemblyError(line_no, "duplicate label '" + label + "'");
+      }
+      tok.erase(tok.begin());
+    }
+    if (tok.empty()) continue;
+
+    const auto it = kMnemonics.find(tok[0]);
+    if (it == kMnemonics.end()) {
+      throw AssemblyError(line_no, "unknown mnemonic '" + tok[0] + "'");
+    }
+    Instruction ins;
+    ins.op = it->second;
+
+    switch (ins.op) {
+      case Opcode::Fmadd:
+      case Opcode::Fmul:
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+        if (tok.size() != 4) throw AssemblyError(line_no, "expected 'op rd, rn, rm'");
+        ins.rd = static_cast<std::uint8_t>(parse_reg(tok[1], line_no));
+        ins.rn = static_cast<std::uint8_t>(parse_reg(tok[2], line_no));
+        ins.rm = static_cast<std::uint8_t>(parse_reg(tok[3], line_no));
+        break;
+      case Opcode::MovImm: {  // mov rd, #imm | mov rd, rn
+        if (tok.size() != 3) throw AssemblyError(line_no, "expected 'mov rd, src'");
+        ins.rd = static_cast<std::uint8_t>(parse_reg(tok[1], line_no));
+        if (tok[2][0] == '#') {
+          ins.has_imm = true;
+          ins.imm = parse_imm(tok[2], line_no);
+        } else {
+          ins.op = Opcode::MovReg;
+          ins.rn = static_cast<std::uint8_t>(parse_reg(tok[2], line_no));
+        }
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+        if (tok.size() != 4) throw AssemblyError(line_no, "expected 'op rd, rn, src'");
+        ins.rd = static_cast<std::uint8_t>(parse_reg(tok[1], line_no));
+        ins.rn = static_cast<std::uint8_t>(parse_reg(tok[2], line_no));
+        if (tok[3][0] == '#') {
+          ins.has_imm = true;
+          ins.imm = parse_imm(tok[3], line_no);
+        } else {
+          ins.rm = static_cast<std::uint8_t>(parse_reg(tok[3], line_no));
+        }
+        break;
+      case Opcode::Ldr:
+      case Opcode::Ldrd:
+      case Opcode::Str:
+      case Opcode::Strd:
+        if (tok.size() < 4) throw AssemblyError(line_no, "expected 'op rd, [rn...]'");
+        ins.rd = static_cast<std::uint8_t>(parse_reg(tok[1], line_no));
+        if ((ins.op == Opcode::Ldrd || ins.op == Opcode::Strd) && ins.rd % 2 != 0) {
+          throw AssemblyError(line_no, "doubleword ops need an even register pair");
+        }
+        parse_mem_operand(tok, 2, line_no, ins);
+        break;
+      case Opcode::B:
+      case Opcode::Bne:
+      case Opcode::Beq:
+        if (tok.size() != 2) throw AssemblyError(line_no, "expected branch target label");
+        fixups.push_back({prog.code.size(), tok[1], line_no});
+        break;
+      case Opcode::Halt:
+        if (tok.size() != 1) throw AssemblyError(line_no, "halt takes no operands");
+        break;
+      case Opcode::MovReg:
+        break;  // produced by the MovImm case above, never matched directly
+    }
+    prog.code.push_back(ins);
+    prog.source.emplace_back(line);
+  }
+
+  for (const auto& f : fixups) {
+    const auto it = labels.find(f.label);
+    if (it == labels.end()) {
+      throw AssemblyError(f.line, "undefined label '" + f.label + "'");
+    }
+    prog.code[f.instr_index].imm = it->second;
+  }
+  return prog;
+}
+
+}  // namespace epi::isa

@@ -1,0 +1,35 @@
+#pragma once
+// A small two-pass assembler for the eCore ISA subset. Syntax follows the
+// Epiphany assembly the paper quotes, lower-case, one instruction per line:
+//
+//     mov   r7, #40          ; immediates take '#'
+//     loop:                  ; labels end with ':'
+//     ldrd  r16, [r0], #8    ; postmodify doubleword load
+//     fmadd r8, r20, r2
+//     str   r8, [r1, #0]
+//     sub   r7, r7, #1
+//     bne   loop
+//     halt
+//
+// ';' starts a comment. Throws AssemblyError with line number and message
+// on any malformed input.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace epi::isa {
+
+class AssemblyError : public std::runtime_error {
+public:
+  AssemblyError(unsigned line, const std::string& msg)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg), line(line) {}
+  unsigned line;
+};
+
+/// Assemble `text` into a Program.
+[[nodiscard]] Program assemble(std::string_view text);
+
+}  // namespace epi::isa

@@ -1,0 +1,64 @@
+#pragma once
+// Functional + cycle-scoring interpreter for the eCore ISA subset.
+//
+// The eCore is dual-issue in-order: one FPU instruction and one IALU /
+// load-store instruction can issue per cycle (section VI: FMADD "can be
+// executed concurrently with certain other integer unit instructions, such
+// as loads and stores, in a super-scalar manner"). The scorer models:
+//   * one FPU + one IALU issue slot per cycle, in program order;
+//   * the FPU result hazard the paper measured: "the register used for
+//     accumulating the result of the FMADD instruction cannot be used again
+//     as a FPU source or result register, or as the source of a store
+//     instruction for at least 5 cycles" -- an FPU result is unavailable to
+//     those consumers until issue+5;
+//   * single-cycle scratchpad loads whose results are available the next
+//     cycle;
+//   * the 3-cycle taken-branch penalty (section IV-B: "branching costs
+//     3 cycles").
+//
+// Functional state (registers, flags, a memory image) is exact, so the
+// paper's hand-scheduled kernels can be validated numerically *and* the
+// schedule-model constants (205-cycle stencil stripe pass, 32-cycle matmul
+// macro) can be reproduced by executing the real instruction streams.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "isa/program.hpp"
+
+namespace epi::isa {
+
+class ExecutionError : public std::runtime_error {
+public:
+  ExecutionError(std::size_t pc, const std::string& msg)
+      : std::runtime_error("pc " + std::to_string(pc) + ": " + msg) {}
+};
+
+struct ExecStats {
+  std::uint64_t cycles = 0;        // issue cycle of HALT
+  std::uint64_t instructions = 0;  // retired, excluding HALT
+  std::uint64_t fpu_ops = 0;       // FPU instructions retired
+  std::uint64_t flops = 0;         // 2 per FMADD, 1 per other FPU op
+  std::uint64_t branch_stalls = 0;
+  std::uint64_t hazard_stalls = 0; // cycles lost to FPU result hazards
+};
+
+struct InterpreterConfig {
+  /// FPU result unavailable as FPU operand/result or store source until
+  /// issue + this many cycles (the paper's measured 5).
+  std::uint32_t fpu_result_latency = 5;
+  /// Load result available at issue + this many cycles.
+  std::uint32_t load_latency = 1;
+  /// Extra cycles after a taken branch.
+  std::uint32_t taken_branch_penalty = 3;
+  /// Execution aborts past this many instructions (runaway guard).
+  std::uint64_t max_instructions = 50'000'000;
+};
+
+/// Execute `prog` over `regs` and a byte-addressable memory image (the
+/// core's scratchpad). Returns the execution statistics.
+ExecStats execute(const Program& prog, RegFile& regs, std::span<std::byte> memory,
+                  const InterpreterConfig& cfg = {});
+
+}  // namespace epi::isa

@@ -1,0 +1,180 @@
+#include "isa/kernels.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace epi::isa {
+
+namespace {
+
+/// Emit "mov rX, #<bit pattern of f>" (the ISA subset takes 32-bit
+/// immediates in one MOV; real silicon pairs MOV/MOVT, which changes
+/// nothing dual-issue-wise since both pair with FPU slots).
+void mov_float(std::ostream& os, unsigned reg, float f) {
+  os << "  mov r" << reg << ", #0x" << std::hex << std::bit_cast<std::uint32_t>(f)
+     << std::dec << "\n";
+}
+
+}  // namespace
+
+std::string generate_stencil_stripe(unsigned row_pairs, const util::StencilWeights& w,
+                                    std::uint32_t out_offset) {
+  constexpr unsigned kW = 22;          // input row: 20 interior + 2 boundary
+  constexpr unsigned kRowBytes = kW * 4;
+  // Register map (see kernels.hpp).
+  constexpr unsigned kWT = 2, kWL = 3, kWC = 4, kWR = 5, kWB = 6;
+  const unsigned acc_set[2][5] = {{8, 9, 10, 11, 12}, {15, 16, 17, 18, 19}};
+  constexpr unsigned kBuf0 = 20;  // r20..r41
+  constexpr unsigned kBuf1 = 42;  // r42..r63
+
+  std::ostringstream os;
+  os << "; 5-point stencil stripe, two-row pass (paper section VI)\n";
+  mov_float(os, kWT, w.top);
+  mov_float(os, kWL, w.left);
+  mov_float(os, kWC, w.centre);
+  mov_float(os, kWR, w.right);
+  mov_float(os, kWB, w.bottom);
+  os << "  mov r13, #0\n";
+  for (int s = 0; s < 2; ++s) {
+    for (unsigned k = 0; k < 5; ++k) os << "  mov r" << acc_set[s][k] << ", r13\n";
+  }
+  // Pre-load the first two input rows into the buffers (11 ldrd each).
+  os << "  mov r0, #0\n";
+  for (unsigned c = 0; c < kW; c += 2) {
+    os << "  ldrd r" << (kBuf0 + c) << ", [r0, #" << 4 * c << "]\n";
+  }
+  for (unsigned c = 0; c < kW; c += 2) {
+    os << "  ldrd r" << (kBuf1 + c) << ", [r0, #" << kRowBytes + 4 * c << "]\n";
+  }
+  os << "  mov r0, #" << 2 * kRowBytes << "  ; cursor at input row 2\n";
+  os << "  mov r1, #" << out_offset << "    ; dense output cursor (5-slot pad first)\n";
+  os << "  mov r7, #" << row_pairs << "\n";
+  os << "pair:\n";
+
+  // Two rows per loop body; buffer roles swap between them. `store_set`
+  // tracks which accumulator set has finished results pending.
+  unsigned set = 0;
+  for (unsigned row = 0; row < 2; ++row) {
+    const unsigned top = row == 0 ? kBuf0 : kBuf1;  // holds input row i-1
+    const unsigned mid = row == 0 ? kBuf1 : kBuf0;  // holds input row i
+    os << "  ; ---- output row (" << (row == 0 ? "top=buf0" : "top=buf1") << ")\n";
+    for (unsigned run = 0; run < 4; ++run) {
+      const unsigned* acc = acc_set[set];
+      const unsigned* other = acc_set[set ^ 1];
+      const unsigned c0 = 5 * run + 1;  // first interior column of the run
+      // Slots 0-4: T taps, paired with the other set's pending stores.
+      for (unsigned k = 0; k < 5; ++k) {
+        os << "  fmadd r" << acc[k] << ", r" << (top + c0 + k) << ", r" << kWT << "\n";
+        os << "  str r" << other[k] << ", [r1], #4\n";
+      }
+      // Slots 5-9: L taps, paired with the other set's clears.
+      for (unsigned k = 0; k < 5; ++k) {
+        os << "  fmadd r" << acc[k] << ", r" << (mid + c0 + k - 1) << ", r" << kWL << "\n";
+        os << "  mov r" << other[k] << ", r13\n";
+      }
+      // Slots 10-14: C taps, paired with the next row's loads into the top
+      // buffer (the paper's progressive replacement).
+      for (unsigned k = 0; k < 5; ++k) {
+        os << "  fmadd r" << acc[k] << ", r" << (mid + c0 + k) << ", r" << kWC << "\n";
+        os << "  ldr r" << (top + c0 + k) << ", [r0, #" << 4 * (c0 + k) << "]\n";
+      }
+      // Slots 15-19: R taps, paired with per-row extras.
+      for (unsigned k = 0; k < 5; ++k) {
+        os << "  fmadd r" << acc[k] << ", r" << (mid + c0 + k + 1) << ", r" << kWR << "\n";
+        if (run == 0 && k == 0) {
+          os << "  ldr r" << (top + 0) << ", [r0, #0]   ; west boundary of next row\n";
+        } else if (run == 3 && k == 0) {
+          os << "  ldr r" << (top + 21) << ", [r0, #84] ; east boundary of next row\n";
+        } else if (run == 3 && k == 1) {
+          os << "  add r0, r0, #" << kRowBytes << "\n";
+        } else if (row == 1 && run == 3 && k == 2) {
+          os << "  sub r7, r7, #1\n";
+        }
+      }
+      // Slots 20-24: B taps from the freshly replaced top-buffer registers.
+      for (unsigned k = 0; k < 5; ++k) {
+        os << "  fmadd r" << acc[k] << ", r" << (top + c0 + k) << ", r" << kWB << "\n";
+      }
+      set ^= 1;
+    }
+  }
+  os << "  bne pair\n";
+  // Epilogue: the final run's results are still pending.
+  for (unsigned k = 0; k < 5; ++k) {
+    os << "  str r" << acc_set[set ^ 1][k] << ", [r1], #4\n";
+  }
+  os << "  halt\n";
+  return os.str();
+}
+
+std::string generate_matmul_rows(unsigned c_rows) {
+  constexpr std::uint32_t kA = 0x0000;
+  constexpr std::uint32_t kB = 0x1000;
+  constexpr std::uint32_t kC = 0x2000;
+  // The paper's registers: A-element pool r11, r12, r14, r15; B-row octet
+  // r16-r23 (loaded by doubleword); accumulators r32-r63.
+  const unsigned pool[4] = {11, 12, 14, 15};
+  constexpr unsigned kRb = 16;
+  constexpr unsigned kAcc = 32;
+
+  std::ostringstream os;
+  os << "; 32x32 matmul row kernel (paper section VII)\n";
+  os << "  mov r13, #0\n";
+  os << "  mov r0, #" << kA << "\n";
+  for (unsigned j = 0; j < 32; ++j) os << "  mov r" << (kAcc + j) << ", r13\n";
+  // Pre-load A[0..3] and B row 0 elements 0..5.
+  for (unsigned p = 0; p < 4; ++p) os << "  ldr r" << pool[p] << ", [r0], #4\n";
+  for (unsigned pr = 0; pr < 3; ++pr) {
+    os << "  ldrd r" << (kRb + 2 * pr) << ", [r13, #" << (kB + 8 * pr) << "]\n";
+  }
+
+  for (unsigned r = 0; r < c_rows; ++r) {
+    os << "  ; ---- C row " << r << "\n";
+    for (unsigned e = 0; e < 32; ++e) {
+      const std::uint32_t row_base = kB + e * 128;
+      const std::uint32_t next_base = kB + ((e + 1) % 32) * 128;
+      const unsigned a_reg = pool[e % 4];
+      os << "  ; macro e=" << e << "\n";
+      for (unsigned j = 0; j < 32; ++j) {
+        os << "  fmadd r" << (kAcc + j) << ", r" << (kRb + j % 8) << ", r" << a_reg
+           << "\n";
+        // Interleave the integer slots (paper: ~18 movement ops per macro).
+        if (j == 0) {
+          // This row's elements 6,7 (their registers were used at the very
+          // end of the previous macro).
+          os << "  ldrd r" << (kRb + 6) << ", [r13, #" << (row_base + 24) << "]\n";
+        } else if (j == 1 && !(r == 0 && e == 0)) {
+          // Refill the pool register freed by the previous macro with the
+          // element three macros ahead.
+          os << "  ldr r" << pool[(e + 3) % 4] << ", [r0], #4\n";
+        } else if (j >= 2 && j <= 24 && j % 2 == 0) {
+          // Stream this row's elements 8..31 behind their consumers.
+          const unsigned pair = (j + 8 - 2) / 2 * 2 + 8 - 6;  // see below
+          (void)pair;
+          const unsigned elem = j + 6;  // elements (j+6, j+7)
+          os << "  ldrd r" << (kRb + elem % 8) << ", [r13, #" << (row_base + 4 * elem)
+             << "]\n";
+        } else if (j >= 26 && j % 2 == 0) {
+          // Pre-load the next row's elements 0..5.
+          const unsigned elem = j - 26;
+          os << "  ldrd r" << (kRb + elem) << ", [r13, #" << (next_base + 4 * elem)
+             << "]\n";
+        }
+      }
+    }
+    // Row epilogue: write the accumulated C row out by doublewords, then
+    // clear the accumulators for the next row (the paper's "values ...
+    // written out ... and the registers are cleared").
+    for (unsigned pr = 0; pr < 16; ++pr) {
+      os << "  strd r" << (kAcc + 2 * pr) << ", [r13, #" << (kC + r * 128 + 8 * pr)
+         << "]\n";
+    }
+    if (r + 1 < c_rows) {
+      for (unsigned j = 0; j < 32; ++j) os << "  mov r" << (kAcc + j) << ", r13\n";
+    }
+  }
+  os << "  halt\n";
+  return os.str();
+}
+
+}  // namespace epi::isa

@@ -1,0 +1,60 @@
+#pragma once
+// Reconstructions of the paper's hand-scheduled assembly kernels, emitted
+// as ISA-subset programs. The paper describes both kernels instruction by
+// instruction (sections VI and VII); these generators rebuild them so the
+// schedule models in core/ can be *validated by execution*:
+//
+//   * the 5-point stencil stripe: two 22-register row buffers, two
+//     5-accumulator sets used alternately, 25-FMADD runs with loads/stores/
+//     clears dual-issued into the spare integer slots, B-row values
+//     progressively replacing the T-row registers -- 200 FMADDs per
+//     two-row pass in ~205 cycles;
+//   * the matmul macro: one element of A times a 32-element row of B,
+//     32 FMADDs with the next B row's 16 doubleword loads and the next A
+//     element interleaved -- 64 flops in 32 cycles.
+//
+// Memory layouts are documented on each generator.
+
+#include <string>
+
+#include "isa/program.hpp"
+#include "util/reference.hpp"
+
+namespace epi::isa {
+
+/// Register allocation shared by the generated kernels (the paper's, with
+/// the four "reserved for constants" registers holding stencil weights).
+struct StencilRegs {
+  // r0: input row cursor, r1: output cursor, r7: loop counter,
+  // r13: zero constant, r2-r6: the five weights (T, L, C, R, B).
+  // r8-r12: accumulator set A; r15-r19: accumulator set B.
+  // r20-r41 and r42-r63: the two 22-register row buffers.
+};
+
+/// Generate the stencil stripe kernel.
+///
+/// Memory layout (byte addresses inside the image passed to execute()):
+///   input:  (2*row_pairs + 2) rows x 22 floats, row-major at offset 0
+///           (20 interior points per row plus one boundary point each side);
+///   output: dense (2*row_pairs) rows x 20 floats at `out_offset`, preceded
+///           by a 5-float scratch pad absorbing the store-lag prologue.
+///
+/// `out_offset` must point at the pad; results start 20 bytes later.
+[[nodiscard]] std::string generate_stencil_stripe(unsigned row_pairs,
+                                                  const util::StencilWeights& w,
+                                                  std::uint32_t out_offset);
+
+/// Byte size the stencil kernel needs: input rows + pad + dense output.
+[[nodiscard]] constexpr std::uint32_t stencil_stripe_memory_bytes(unsigned row_pairs,
+                                                                  std::uint32_t out_offset) {
+  return out_offset + (5 + 2 * row_pairs * 20) * 4;
+}
+
+/// Generate `c_rows` rows of the matmul kernel for 32x32 operands:
+/// C[r][*] = sum_e A[r][e] * B[e][*].
+///
+/// Memory layout: A (32x32 floats) at offset 0, B (32x32) at 0x1000,
+/// C (32x32) at 0x2000 -- the shape of the paper's bank placement.
+[[nodiscard]] std::string generate_matmul_rows(unsigned c_rows);
+
+}  // namespace epi::isa

@@ -1,0 +1,106 @@
+#pragma once
+// The full modelled Epiphany system: event engine, memory, eMesh, eLinks,
+// and per-eCore resources (two DMA channels, two event timers).
+//
+// A Machine corresponds to what sits on the FMC daughter card in the paper:
+// the E64G401 chip plus its shared-memory window. Host-side orchestration
+// lives in epi::host on top of this.
+
+#include <deque>
+#include <memory>
+
+#include "arch/coords.hpp"
+#include "arch/timing.hpp"
+#include "dma/channel.hpp"
+#include "mem/memory_system.hpp"
+#include "noc/elink.hpp"
+#include "noc/mesh.hpp"
+#include "sim/engine.hpp"
+
+namespace epi::machine {
+
+/// One of the two per-core event timers (E_CTIMER_0/1). Real ctimers count
+/// *down* from the set value; the paper's Listing 1 measures elapsed cycles
+/// as set_value - get(). We reproduce that interface.
+class CTimer {
+public:
+  static constexpr std::uint32_t kMax = 0xFFFFFFFFu;  // E_CTIMER_MAX
+
+  explicit CTimer(const sim::Engine& engine) noexcept : engine_(&engine) {}
+
+  void set(std::uint32_t value) noexcept {
+    value_ = value;
+    running_ = false;
+  }
+  void start() noexcept {
+    started_at_ = engine_->now();
+    running_ = true;
+  }
+  [[nodiscard]] std::uint32_t get() const noexcept {
+    if (!running_) return value_;
+    const sim::Cycles elapsed = engine_->now() - started_at_;
+    return elapsed >= value_ ? 0 : value_ - static_cast<std::uint32_t>(elapsed);
+  }
+  void stop() noexcept {
+    value_ = get();
+    running_ = false;
+  }
+  /// Convenience: cycles elapsed since start() for a timer set to kMax.
+  [[nodiscard]] sim::Cycles elapsed() const noexcept {
+    return running_ ? engine_->now() - started_at_ : 0;
+  }
+
+private:
+  const sim::Engine* engine_;
+  std::uint32_t value_ = kMax;
+  sim::Cycles started_at_ = 0;
+  bool running_ = false;
+};
+
+class Machine {
+public:
+  explicit Machine(arch::MachineConfig cfg)
+      : cfg_(cfg),
+        mem_(cfg.dims, engine_),
+        mesh_(cfg.dims, cfg_.timing, engine_),
+        elink_write_(cfg.dims, cfg_.timing, engine_, cfg.timing.elink_write_overhead),
+        elink_read_(cfg.dims, cfg_.timing, engine_, cfg.timing.elink_read_overhead) {
+    for (unsigned i = 0; i < cfg.dims.core_count(); ++i) {
+      cores_.emplace_back(cfg.dims.coord_of(i), *this);
+    }
+  }
+
+  struct Core {
+    Core(arch::CoreCoord c, Machine& m)
+        : coord(c),
+          dma{{c, m.cfg_, m.engine_, m.mem_, m.mesh_, m.elink_write_, m.elink_read_},
+              {c, m.cfg_, m.engine_, m.mem_, m.mesh_, m.elink_write_, m.elink_read_}},
+          ctimer{CTimer(m.engine_), CTimer(m.engine_)} {}
+    arch::CoreCoord coord;
+    dma::DmaChannel dma[2];
+    CTimer ctimer[2];
+  };
+
+  [[nodiscard]] const arch::MachineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] arch::MeshDims dims() const noexcept { return cfg_.dims; }
+  [[nodiscard]] const arch::TimingParams& timing() const noexcept { return cfg_.timing; }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] mem::MemorySystem& mem() noexcept { return mem_; }
+  [[nodiscard]] noc::MeshNetwork& mesh() noexcept { return mesh_; }
+  [[nodiscard]] noc::ELink& elink_write() noexcept { return elink_write_; }
+  [[nodiscard]] noc::ELink& elink_read() noexcept { return elink_read_; }
+
+  [[nodiscard]] Core& core(arch::CoreCoord c) { return cores_[cfg_.dims.index_of(c)]; }
+
+private:
+  arch::MachineConfig cfg_;
+  sim::Engine engine_;
+  mem::MemorySystem mem_;
+  noc::MeshNetwork mesh_;
+  noc::ELink elink_write_;
+  noc::ELink elink_read_;
+  std::deque<Core> cores_;  // deque: Core is immovable (owns DmaChannels)
+};
+
+}  // namespace epi::machine

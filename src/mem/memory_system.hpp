@@ -1,0 +1,171 @@
+#pragma once
+// The machine's functional memory: every eCore scratchpad plus the 32 MB
+// shared DRAM window, resolved through the flat global address map.
+//
+// All *functional* data movement in the simulator lands here. Writes notify
+// registered watches, which is how flag-spin synchronisation (the idiom in
+// the paper's Listings 1 and 2) is modelled without polling storms.
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "arch/address_map.hpp"
+#include "arch/coords.hpp"
+#include "mem/local_memory.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace epi::mem {
+
+class MemorySystem {
+public:
+  MemorySystem(arch::MeshDims dims, sim::Engine& engine)
+      : map_(arch::AddressMap::make(dims)),
+        engine_(&engine),
+        locals_(dims.core_count()),
+        external_(map_.external_bytes) {}
+
+  [[nodiscard]] const arch::AddressMap& map() const noexcept { return map_; }
+  [[nodiscard]] sim::Engine& engine() const noexcept { return *engine_; }
+
+  [[nodiscard]] LocalMemory& local(arch::CoreCoord c) {
+    return locals_[map_.dims.index_of(c)];
+  }
+  [[nodiscard]] const LocalMemory& local(arch::CoreCoord c) const {
+    return locals_[map_.dims.index_of(c)];
+  }
+
+  /// Direct span into external DRAM (host-side/functional use).
+  [[nodiscard]] std::span<std::byte> external_span(std::uint32_t offset, std::size_t n) {
+    if (offset > external_.size() || n > external_.size() - offset) {
+      throw std::out_of_range("external memory access out of the 32 MB window");
+    }
+    return std::span<std::byte>(external_.data() + offset, n);
+  }
+
+  /// Resolve a global address as seen by core `issuer` (local-alias
+  /// addresses below 1 MB map to the issuer's own scratchpad).
+  [[nodiscard]] std::span<std::byte> resolve(arch::Addr a, std::size_t n,
+                                             arch::CoreCoord issuer) {
+    if (arch::AddressMap::is_local_alias(a)) {
+      return local(issuer).span(arch::AddressMap::local_offset(a), n);
+    }
+    if (map_.is_external(a)) {
+      return external_span(map_.external_offset(a), n);
+    }
+    if (auto c = map_.core_of(a)) {
+      return local(*c).span(arch::AddressMap::local_offset(a), n);
+    }
+    throw std::out_of_range("unmapped global address 0x" + hex(a));
+  }
+
+  // ---- functional reads/writes (timing is charged by the caller) -------
+
+  void write_bytes(arch::Addr a, std::span<const std::byte> src, arch::CoreCoord issuer) {
+    auto dst = resolve(a, src.size(), issuer);
+    std::memcpy(dst.data(), src.data(), src.size());
+    notify_watches(canonical(a, issuer), static_cast<std::uint32_t>(src.size()));
+  }
+  void read_bytes(arch::Addr a, std::span<std::byte> dst, arch::CoreCoord issuer) {
+    auto src = resolve(a, dst.size(), issuer);
+    std::memcpy(dst.data(), src.data(), dst.size());
+  }
+
+  template <typename T>
+  void write_value(arch::Addr a, T v, arch::CoreCoord issuer) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_bytes(a, std::as_bytes(std::span<const T, 1>(&v, 1)), issuer);
+  }
+  template <typename T>
+  [[nodiscard]] T read_value(arch::Addr a, arch::CoreCoord issuer) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    read_bytes(a, std::as_writable_bytes(std::span<T, 1>(&v, 1)), issuer);
+    return v;
+  }
+
+  /// Copy between two global ranges (used by DMA chunk commits).
+  void copy(arch::Addr dst, arch::Addr src, std::size_t n, arch::CoreCoord issuer) {
+    auto s = resolve(src, n, issuer);
+    auto d = resolve(dst, n, issuer);
+    std::memmove(d.data(), s.data(), n);
+    notify_watches(canonical(dst, issuer), static_cast<std::uint32_t>(n));
+  }
+
+  // ---- watches: event-driven flag waits ---------------------------------
+
+  /// Suspend until `pred(current u32 at a)` holds; re-evaluated after every
+  /// write overlapping `a`. Models the spin loops of Listings 1/2 with a
+  /// small wake-up cost instead of per-cycle polling.
+  template <typename Pred>
+  sim::Op<void> wait_u32(arch::Addr a, arch::CoreCoord issuer, Pred pred) {
+    while (!pred(read_value<std::uint32_t>(a, issuer))) {
+      co_await WatchAwaiter{*this, canonical(a, issuer)};
+    }
+  }
+
+  [[nodiscard]] std::size_t active_watches() const noexcept { return watches_.size(); }
+
+private:
+  struct Watch {
+    arch::Addr lo;
+    arch::Addr hi;  // exclusive
+    std::coroutine_handle<> h;
+  };
+
+  struct WatchAwaiter {
+    MemorySystem& mem;
+    arch::Addr addr;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      mem.watches_.push_back(Watch{addr, addr + 4, h});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Canonicalise a local-alias address to its global form so that a remote
+  /// writer's store to the global address wakes a local-alias watcher.
+  [[nodiscard]] arch::Addr canonical(arch::Addr a, arch::CoreCoord issuer) const noexcept {
+    if (arch::AddressMap::is_local_alias(a)) {
+      return map_.global(issuer, arch::AddressMap::local_offset(a));
+    }
+    return a;
+  }
+
+  void notify_watches(arch::Addr lo, std::uint32_t n) {
+    if (watches_.empty()) return;
+    const arch::Addr hi = lo + n;
+    for (std::size_t i = 0; i < watches_.size();) {
+      const Watch& w = watches_[i];
+      if (w.lo < hi && lo < w.hi) {
+        engine_->schedule_in(1, w.h);  // wake next cycle; watcher re-checks
+        watches_[i] = watches_.back();
+        watches_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  static std::string hex(arch::Addr a) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08X", a);
+    return buf;
+  }
+
+  arch::AddressMap map_;
+  sim::Engine* engine_;
+  std::vector<LocalMemory> locals_;
+  std::vector<std::byte> external_;
+  std::vector<Watch> watches_;
+};
+
+}  // namespace epi::mem

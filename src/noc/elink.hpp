@@ -1,0 +1,204 @@
+#pragma once
+// eLink / off-chip (xMesh) network model (paper section V-B).
+//
+// All traffic between the chip and shared DRAM funnels through a single
+// 8-bit, 600 MHz eLink (600 MB/s raw per direction); the paper measured at
+// most 150 MB/s of sustained write throughput ("exactly one quarter of the
+// theoretical maximum"), with heavily position-dependent shares under
+// contention: nodes near the exit corner win, and with 64 writers many far
+// rows never get a write slot at all (Tables II and III).
+//
+// We model the off-chip write network as a cascade of *weighted* arbiters
+// mirroring the xMesh route: each row merges eastward toward the exit
+// column, and the exit column merges northward toward the exit router at
+// (0, cols-1). The grant patterns are calibrated against Table II:
+//   * in-row merge points grant through-traffic twice per local injection
+//     (the paper's 2x2 experiment shows the *farther* core in a row winning
+//     ~2:1 -- through-traffic priority);
+//   * exit-column merge points grant the row stream three times per
+//     southern grant (row 0 took ~74% against rows below in Table II).
+// Local fairness with these weights is geometrically unfair globally --
+// exactly the starvation pattern of Table III, where many far rows never
+// win a write slot. Transactions are served one at a time at the sustained
+// (overhead-derated) byte rate. (Deviation note: the measured Table III
+// shows the four column-7 cores nearest the exit sharing almost equally;
+// a stationary arbitration model cannot reproduce that burst-timing
+// artefact, and we document the difference in EXPERIMENTS.md.)
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "arch/coords.hpp"
+#include "arch/timing.hpp"
+#include "sim/engine.hpp"
+
+namespace epi::noc {
+
+class ELink {
+public:
+  /// `overhead` is the per-transaction protocol derating (4.0 reproduces
+  /// the observed 150 MB/s on a 600 MB/s link).
+  ELink(arch::MeshDims dims, const arch::TimingParams& timing, sim::Engine& engine,
+        double overhead)
+      : dims_(dims),
+        timing_(&timing),
+        engine_(&engine),
+        overhead_(overhead),
+        fifos_(dims.core_count()),
+        rr3_(dims.rows, 0),
+        rr2_(dims.core_count(), 0) {}
+
+  /// Awaitable: a `bytes`-long transaction from core `c` through the eLink.
+  /// Completes when the transaction has fully drained. Under contention,
+  /// position decides how often `c` wins a slot.
+  auto txn(arch::CoreCoord c, std::uint32_t bytes) noexcept {
+    struct Awaiter {
+      ELink& link;
+      arch::CoreCoord c;
+      std::uint32_t bytes;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        link.fifos_[link.dims_.index_of(c)].push_back(Request{bytes, h});
+        ++link.pending_;
+        if (!link.pumping_) {
+          link.pumping_ = true;
+          link.engine_->call_at(link.engine_->now(), [&l = link] { l.pump(); });
+        }
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, c, bytes};
+  }
+
+  [[nodiscard]] std::uint64_t bytes_served(arch::CoreCoord c) const {
+    return served_.empty() ? 0 : served_[dims_.index_of(c)];
+  }
+  [[nodiscard]] std::uint64_t total_bytes_served() const noexcept { return total_served_; }
+
+private:
+  struct Request {
+    std::uint32_t bytes;
+    std::coroutine_handle<> h;
+  };
+
+  void pump() {
+    if (pending_ == 0) {
+      pumping_ = false;
+      return;
+    }
+    const unsigned winner = select_root();
+    Request r = fifos_[winner].front();
+    fifos_[winner].pop_front();
+    --pending_;
+
+    const auto occupancy = std::max<sim::Cycles>(
+        1, static_cast<sim::Cycles>(static_cast<double>(r.bytes) * overhead_ /
+                                        timing_->elink_bytes_per_cycle +
+                                    0.5));
+    if (served_.empty()) served_.resize(dims_.core_count(), 0);
+    served_[winner] += r.bytes;
+    total_served_ += r.bytes;
+
+    const sim::Cycles now = engine_->now();
+    // The requester observes link occupancy plus the glue-logic latency;
+    // the link itself frees after the occupancy (latency is pipelined).
+    engine_->schedule_at(now + occupancy + timing_->elink_txn_latency_cycles, r.h);
+    engine_->call_at(now + occupancy, [this] { pump(); });
+  }
+
+  // ---- cascaded round-robin arbitration ---------------------------------
+
+  [[nodiscard]] std::size_t pending_at(unsigned row, unsigned col) const {
+    return fifos_[dims_.index_of({row, col})].size();
+  }
+  [[nodiscard]] bool row_stream_nonempty(unsigned row, unsigned below_col) const {
+    for (unsigned c = 0; c < below_col; ++c) {
+      if (pending_at(row, c) > 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool south_nonempty(unsigned from_row) const {
+    for (unsigned r = from_row; r < dims_.rows; ++r) {
+      if (pending_at(r, dims_.cols - 1) > 0 || row_stream_nonempty(r, dims_.cols - 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Merge point on the exit column at `row`: weighted grant pattern over
+  /// {the row's eastward stream (R), local core (L), everything south (S)}.
+  /// Pattern R,L,R,R,S: with only R and S contending this yields the ~3:1
+  /// row-vs-south split of Table II.
+  unsigned select_col(unsigned row) {
+    enum : unsigned { R, L, S };
+    static constexpr unsigned kPattern[5] = {R, L, R, R, S};
+    const unsigned exit_col = dims_.cols - 1;
+    for (unsigned k = 0; k < 5; ++k) {
+      const unsigned pos = (rr3_[row] + k) % 5;
+      switch (kPattern[pos]) {
+        case R:
+          if (exit_col > 0 && row_stream_nonempty(row, exit_col)) {
+            rr3_[row] = (pos + 1) % 5;
+            return select_row(row, exit_col - 1);
+          }
+          break;
+        case L:
+          if (pending_at(row, exit_col) > 0) {
+            rr3_[row] = (pos + 1) % 5;
+            return dims_.index_of({row, exit_col});
+          }
+          break;
+        case S:
+          if (row + 1 < dims_.rows && south_nonempty(row + 1)) {
+            rr3_[row] = (pos + 1) % 5;
+            return select_col(row + 1);
+          }
+          break;
+      }
+    }
+    // pending_ > 0 guarantees some branch fired; unreachable.
+    return dims_.index_of({row, exit_col});
+  }
+
+  /// Merge point within a row at `col`: weighted grant pattern over
+  /// {through-traffic from further west (T), local core (L)}. Pattern
+  /// T,L,T: through-traffic wins 2:1 under saturation, matching the
+  /// farther-core advantage in Table II's rows.
+  unsigned select_row(unsigned row, unsigned col) {
+    enum : unsigned { T, L };
+    static constexpr unsigned kPattern[3] = {T, L, T};
+    const std::size_t node = dims_.index_of({row, col});
+    for (unsigned k = 0; k < 3; ++k) {
+      const unsigned pos = (rr2_[node] + k) % 3;
+      if (kPattern[pos] == T && col > 0 && row_stream_nonempty(row, col)) {
+        rr2_[node] = (pos + 1) % 3;
+        return select_row(row, col - 1);
+      }
+      if (kPattern[pos] == L && pending_at(row, col) > 0) {
+        rr2_[node] = (pos + 1) % 3;
+        return dims_.index_of({row, col});
+      }
+    }
+    return dims_.index_of({row, col});
+  }
+
+  unsigned select_root() { return select_col(0); }
+
+  arch::MeshDims dims_;
+  const arch::TimingParams* timing_;
+  sim::Engine* engine_;
+  double overhead_;
+  std::vector<std::deque<Request>> fifos_;
+  std::vector<unsigned> rr3_;   // per exit-column router
+  std::vector<unsigned> rr2_;   // per in-row router
+  std::vector<std::uint64_t> served_;
+  std::uint64_t total_served_ = 0;
+  std::size_t pending_ = 0;
+  bool pumping_ = false;
+};
+
+}  // namespace epi::noc

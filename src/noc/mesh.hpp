@@ -1,0 +1,99 @@
+#pragma once
+// eMesh on-chip network model (paper section II).
+//
+// The real eMesh has three physically separate 2D mesh networks: an on-chip
+// write network, an off-chip write network (xMesh) and a read-request
+// network. On-chip traffic is modelled here with dimension-ordered (XY)
+// routing and per-directed-link occupancy -- a wormhole approximation that
+// captures bandwidth sharing without flit-level simulation. Off-chip traffic
+// is handled by the ELink arbiter (elink.hpp) and does not contend with
+// on-chip writes, mirroring the separate physical networks.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/coords.hpp"
+#include "arch/timing.hpp"
+#include "sim/engine.hpp"
+
+namespace epi::noc {
+
+class MeshNetwork {
+public:
+  MeshNetwork(arch::MeshDims dims, const arch::TimingParams& timing, sim::Engine& engine)
+      : dims_(dims),
+        timing_(&timing),
+        engine_(&engine),
+        // One occupancy slot per directed link: 4 directions per router.
+        link_free_(static_cast<std::size_t>(dims.core_count()) * 4, 0) {}
+
+  [[nodiscard]] arch::MeshDims dims() const noexcept { return dims_; }
+
+  /// Cycles charged to a core that copies `words` 32-bit values into a
+  /// remote core's memory with CPU load/store pairs (Listing 1 style).
+  /// Calibrated against Table I: 6.67 cycles/word adjacent, +0.067/hop.
+  [[nodiscard]] sim::Cycles direct_copy_cycles(arch::CoreCoord src, arch::CoreCoord dst,
+                                               std::size_t words) const noexcept {
+    const unsigned hops = std::max(1u, arch::manhattan_distance(src, dst));
+    const double per_word = timing_->direct_write_cycles_per_word +
+                            timing_->direct_write_cycles_per_word_per_hop * (hops - 1);
+    return static_cast<sim::Cycles>(per_word * static_cast<double>(words) + 0.5);
+  }
+
+  /// Round-trip cycles for a CPU remote word load (read-request network).
+  [[nodiscard]] sim::Cycles remote_load_cycles(arch::CoreCoord src,
+                                               arch::CoreCoord dst) const noexcept {
+    const unsigned hops = arch::manhattan_distance(src, dst);
+    return timing_->remote_load_base_cycles +
+           static_cast<sim::Cycles>(timing_->remote_load_cycles_per_hop * hops + 0.5);
+  }
+
+  /// Reserve the XY path for a `bytes`-long burst starting no earlier than
+  /// `earliest`; returns the completion cycle. Bursts on shared links
+  /// serialise (wormhole head-of-line approximation), which is what makes
+  /// simultaneous DMA streams share bandwidth.
+  sim::Cycles reserve_path(arch::CoreCoord src, arch::CoreCoord dst, std::size_t bytes,
+                           sim::Cycles earliest) {
+    if (src == dst) return earliest;  // local copy: no mesh traversal
+    const sim::Cycles occupancy = std::max<sim::Cycles>(
+        1, static_cast<sim::Cycles>(static_cast<double>(bytes) / timing_->link_bytes_per_cycle + 0.5));
+
+    // Collect the directed links of the XY route (column-first, then row,
+    // matching eMesh dimension-ordered routing).
+    path_scratch_.clear();
+    arch::CoreCoord cur = src;
+    while (cur.col != dst.col) {
+      const arch::Dir d = cur.col < dst.col ? arch::Dir::East : arch::Dir::West;
+      path_scratch_.push_back(link_index(cur, d));
+      cur.col += cur.col < dst.col ? 1 : -1u;
+    }
+    while (cur.row != dst.row) {
+      const arch::Dir d = cur.row < dst.row ? arch::Dir::South : arch::Dir::North;
+      path_scratch_.push_back(link_index(cur, d));
+      cur.row += cur.row < dst.row ? 1 : -1u;
+    }
+
+    sim::Cycles start = earliest;
+    for (auto li : path_scratch_) start = std::max(start, link_free_[li]);
+    for (auto li : path_scratch_) link_free_[li] = start + occupancy;
+
+    const auto hops = static_cast<double>(path_scratch_.size());
+    return start + occupancy +
+           static_cast<sim::Cycles>(timing_->mesh_hop_cycles * hops + 0.5);
+  }
+
+private:
+  [[nodiscard]] std::size_t link_index(arch::CoreCoord c, arch::Dir d) const noexcept {
+    return static_cast<std::size_t>(dims_.index_of(c)) * 4 + static_cast<unsigned>(d);
+  }
+
+  arch::MeshDims dims_;
+  const arch::TimingParams* timing_;
+  sim::Engine* engine_;
+  std::vector<sim::Cycles> link_free_;
+  std::vector<std::size_t> path_scratch_;
+};
+
+}  // namespace epi::noc

@@ -1,0 +1,165 @@
+#pragma once
+// A minimal data-parallel offload layer -- the "familiar programming
+// models" the paper's conclusion calls for ("further work towards
+// implementation of familiar programming models such as OpenCL and the
+// recently launched OpenMP Accelerator model for the Epiphany is of great
+// interest", section IX).
+//
+// The model is deliberately small but genuine:
+//   * Buffer: a 1D float array striped across the workgroup's scratchpads
+//     (core k holds elements [k*stripe, (k+1)*stripe));
+//   * Queue::parallel_for: every core applies a host-provided body to its
+//     stripe chunks, charged at a caller-declared cycles-per-element rate
+//     (the analogue of an OpenCL NDRange over local memory);
+//   * Queue::reduce: a per-core local fold followed by a binary combining
+//     tree over the mesh, synchronised with the same remote-flag idiom the
+//     paper's kernels use -- partials hop between scratchpads, so the
+//     reduction genuinely pays mesh latencies.
+//
+// Buffers occupy a bump-allocated heap at the same offset on every core
+// (0x4000-0x7BFF), so a buffer is addressed identically everywhere.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "host/system.hpp"
+
+namespace epi::offload {
+
+class Queue;
+
+/// A device-resident float array, striped across the queue's cores.
+class Buffer {
+public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t stripe() const noexcept { return stripe_; }
+  [[nodiscard]] arch::Addr offset() const noexcept { return offset_; }
+
+private:
+  friend class Queue;
+  Buffer(arch::Addr offset, std::size_t size, std::size_t stripe)
+      : offset_(offset), size_(size), stripe_(stripe) {}
+  arch::Addr offset_;
+  std::size_t size_;
+  std::size_t stripe_;
+};
+
+class Queue {
+public:
+  // Device heap available to offload buffers on each core.
+  static constexpr arch::Addr kHeapBase = 0x4000;
+  static constexpr arch::Addr kHeapEnd = 0x7C00;
+  // Reduction scratch (outside the heap). Each tree level gets its own
+  // slot+flag pair: a deep sender must not clobber a partial a receiver
+  // has not yet folded.
+  static constexpr arch::Addr kReduceSlots = 0x7C00;  // one float per level
+  static constexpr arch::Addr kReduceFlags = 0x7C20;  // one u32 per level
+  static constexpr arch::Addr kReduceOut = 0x7C40;    // per-core local fold
+  static constexpr unsigned kMaxReduceLevels = 8;     // up to 2^8 cores
+
+  Queue(host::System& sys, unsigned rows, unsigned cols)
+      : sys_(&sys), rows_(rows), cols_(cols) {
+    if (rows == 0 || cols == 0 || rows > sys.machine().dims().rows ||
+        cols > sys.machine().dims().cols) {
+      throw std::out_of_range("offload queue does not fit the mesh");
+    }
+  }
+
+  [[nodiscard]] unsigned cores() const noexcept { return rows_ * cols_; }
+
+  /// Allocate a striped device buffer of `n` floats.
+  [[nodiscard]] Buffer alloc(std::size_t n) {
+    const std::size_t stripe = (n + cores() - 1) / cores();
+    const std::size_t bytes = stripe * sizeof(float);
+    if (brk_ + bytes > kHeapEnd - kHeapBase) {
+      throw std::bad_alloc();
+    }
+    const arch::Addr off = kHeapBase + static_cast<arch::Addr>(brk_);
+    brk_ += (bytes + 7) / 8 * 8;
+    return Buffer(off, n, stripe);
+  }
+
+  void reset() noexcept { brk_ = 0; }
+
+  /// Host -> device: scatter `src` into the buffer's stripes.
+  void write(const Buffer& b, std::span<const float> src) {
+    if (src.size() != b.size()) throw std::invalid_argument("offload write size mismatch");
+    auto wg = sys_->open(0, 0, rows_, cols_);
+    for (unsigned k = 0; k < cores(); ++k) {
+      const std::size_t first = static_cast<std::size_t>(k) * b.stripe();
+      if (first >= src.size()) break;
+      const std::size_t count = std::min(b.stripe(), src.size() - first);
+      sys_->write_array<float>(wg.ctx(k / cols_, k % cols_).my_global(b.offset()),
+                               src.subspan(first, count));
+    }
+  }
+
+  /// Device -> host: gather the buffer's stripes into `dst`.
+  void read(const Buffer& b, std::span<float> dst) {
+    if (dst.size() != b.size()) throw std::invalid_argument("offload read size mismatch");
+    auto wg = sys_->open(0, 0, rows_, cols_);
+    for (unsigned k = 0; k < cores(); ++k) {
+      const std::size_t first = static_cast<std::size_t>(k) * b.stripe();
+      if (first >= dst.size()) break;
+      const std::size_t count = std::min(b.stripe(), dst.size() - first);
+      sys_->read_array<float>(wg.ctx(k / cols_, k % cols_).my_global(b.offset()),
+                              dst.subspan(first, count));
+    }
+  }
+
+  /// The body of a parallel_for: chunk-global first index, element count,
+  /// and one local span per bound buffer, in binding order.
+  using Body =
+      std::function<void(std::size_t first, std::size_t count,
+                         std::span<std::span<float>> chunks)>;
+
+  /// Run `body` across `n` elements distributed over the workgroup,
+  /// charging `cycles_per_elem` on every core for its chunk. Returns the
+  /// elapsed device cycles.
+  sim::Cycles parallel_for(std::size_t n, double cycles_per_elem, Body body,
+                           std::initializer_list<const Buffer*> buffers) {
+    for (const Buffer* b : buffers) {
+      if (b->size() < n) throw std::invalid_argument("buffer smaller than the range");
+    }
+    auto wg = sys_->open(0, 0, rows_, cols_);
+    const std::size_t stripe = (n + cores() - 1) / cores();
+    std::vector<const Buffer*> bufs(buffers);
+    wg.load([&, stripe, n, cycles_per_elem](device::CoreCtx& ctx) -> sim::Op<void> {
+      return [](device::CoreCtx& c, const Queue::Body& fn,
+                const std::vector<const Buffer*>& bs, std::size_t str, std::size_t total,
+                double cpe) -> sim::Op<void> {
+        const std::size_t first = static_cast<std::size_t>(c.group_index()) * str;
+        if (first >= total) co_return;
+        const std::size_t count = std::min(str, total - first);
+        co_await c.compute(static_cast<sim::Cycles>(cpe * static_cast<double>(count) + 0.5));
+        std::vector<std::span<float>> chunks;
+        chunks.reserve(bs.size());
+        for (const Buffer* b : bs) {
+          chunks.push_back(c.local_array<float>(b->offset(), count));
+        }
+        fn(first, count, std::span<std::span<float>>(chunks));
+      }(ctx, body, bufs, stripe, n, cycles_per_elem);
+    });
+    return wg.run();
+  }
+
+  /// Reduce the first `n` elements of `b` with `op` (associative,
+  /// commutative): local folds, then a binary combining tree over the mesh
+  /// using remote stores and flag waits. Returns the result and, via
+  /// `cycles_out`, the device time.
+  float reduce(const Buffer& b, std::size_t n, float init,
+               std::function<float(float, float)> op, double cycles_per_elem,
+               sim::Cycles* cycles_out = nullptr);
+
+private:
+  host::System* sys_;
+  unsigned rows_;
+  unsigned cols_;
+  std::size_t brk_ = 0;
+  std::uint32_t reduce_gen_ = 0;
+};
+
+}  // namespace epi::offload

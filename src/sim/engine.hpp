@@ -1,0 +1,144 @@
+#pragma once
+// Discrete-event simulation engine with cycle-resolution time.
+//
+// The engine is the substrate for the whole Epiphany model: every eCore,
+// DMA channel and host action is a coroutine process whose suspensions are
+// resumed by the event queue. Ordering is deterministic: events fire in
+// (time, insertion-sequence) order, so every benchmark in this repository
+// is reproducible bit-for-bit.
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace epi::sim {
+
+/// Simulated time, measured in device clock cycles (600 MHz on the
+/// Epiphany-IV used in the paper; the clock rate lives in MachineConfig).
+using Cycles = std::uint64_t;
+
+/// Thrown by Engine::run() when the event queue drains while coroutine
+/// processes are still alive (i.e. suspended on a wait that nothing will
+/// ever satisfy). This catches synchronisation bugs in device kernels --
+/// the simulated analogue of a hung flag-spin on real silicon.
+class DeadlockError : public std::runtime_error {
+public:
+  explicit DeadlockError(std::size_t stuck)
+      : std::runtime_error("simulation deadlock: " + std::to_string(stuck) +
+                           " process(es) suspended with an empty event queue"),
+        stuck_processes(stuck) {}
+  std::size_t stuck_processes;
+};
+
+class Engine {
+public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Cycles now() const noexcept { return now_; }
+
+  /// Resume `h` at absolute time `t` (clamped to now()).
+  void schedule_at(Cycles t, std::coroutine_handle<> h) {
+    queue_.push(Event{t < now_ ? now_ : t, seq_++, h, {}});
+  }
+
+  /// Resume `h` after `dt` cycles.
+  void schedule_in(Cycles dt, std::coroutine_handle<> h) {
+    schedule_at(now_ + dt, h);
+  }
+
+  /// Run an arbitrary callback at absolute time `t`. Used by host-side
+  /// orchestration (e.g. stopping a timed micro-benchmark window).
+  void call_at(Cycles t, std::function<void()> fn) {
+    queue_.push(Event{t < now_ ? now_ : t, seq_++, {}, std::move(fn)});
+  }
+
+  /// Drain the event queue. Throws DeadlockError if processes remain
+  /// suspended when the queue empties.
+  void run() {
+    drain(kNoLimit);
+    if (live_processes_ > 0) throw DeadlockError(live_processes_);
+  }
+
+  /// Run until simulated time would exceed `t` (events at exactly `t` run).
+  /// Pending processes are *not* a deadlock here; timed windows use this.
+  void run_until(Cycles t) { drain(t); }
+
+  /// Process a single event; returns false if the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    if (ev.h) {
+      ev.h.resume();
+    } else if (ev.fn) {
+      ev.fn();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::size_t live_processes() const noexcept { return live_processes_; }
+
+  // Process bookkeeping (used by spawn()/Process internals).
+  void note_process_started() noexcept { ++live_processes_; }
+  void note_process_finished() noexcept { --live_processes_; }
+
+private:
+  static constexpr Cycles kNoLimit = ~Cycles{0};
+
+  struct Event {
+    Cycles t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drain(Cycles limit) {
+    while (!queue_.empty()) {
+      if (queue_.top().t > limit) return;
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.t;
+      ++processed_;
+      if (ev.h) {
+        ev.h.resume();
+      } else if (ev.fn) {
+        ev.fn();
+      }
+    }
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Cycles now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t processed_ = 0;
+  std::size_t live_processes_ = 0;
+};
+
+/// Awaitable: suspend the current process for `d` cycles.
+struct Delay {
+  Engine& engine;
+  Cycles d;
+  [[nodiscard]] bool await_ready() const noexcept { return d == 0; }
+  void await_suspend(std::coroutine_handle<> h) const { engine.schedule_in(d, h); }
+  void await_resume() const noexcept {}
+};
+
+[[nodiscard]] inline Delay delay(Engine& e, Cycles d) { return Delay{e, d}; }
+
+}  // namespace epi::sim

@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic PRNG for workload generation. SplitMix64 + xoshiro256**:
+// fast, seedable, and identical across platforms, so every test and bench
+// that uses random data is reproducible.
+
+#include <cstdint>
+
+namespace epi::sim {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n) noexcept { return next_u64() % n; }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo = 0.0f, float hi = 1.0f) noexcept {
+    const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    return static_cast<float>(lo + u * (hi - lo));
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace epi::sim

@@ -1,0 +1,203 @@
+#pragma once
+// Coroutine task types for simulation processes.
+//
+// Op<T> is a lazy coroutine: creating one does nothing until it is awaited
+// (from another Op) or spawned as a root process on an Engine. Completion
+// resumes the awaiting coroutine via symmetric transfer, so arbitrarily deep
+// call chains cost no stack and no extra events.
+//
+// spawn() turns an Op<void> into a detached root process tracked by the
+// Engine (for deadlock detection) and by the returned Process handle (for
+// completion queries and error propagation).
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace epi::sim {
+
+template <typename T>
+class Op;
+
+namespace detail {
+
+struct OpPromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr error{};
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+template <typename T>
+struct OpPromise : OpPromiseBase {
+  // Deferred-construction storage avoids requiring T be default-constructible.
+  alignas(T) unsigned char storage[sizeof(T)];
+  bool has_value = false;
+
+  Op<T> get_return_object() noexcept;
+  template <typename U>
+  void return_value(U&& v) {
+    ::new (static_cast<void*>(storage)) T(std::forward<U>(v));
+    has_value = true;
+  }
+  T& value() noexcept { return *std::launder(reinterpret_cast<T*>(storage)); }
+  ~OpPromise() {
+    if (has_value) value().~T();
+  }
+};
+
+template <>
+struct OpPromise<void> : OpPromiseBase {
+  Op<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// A lazily-started simulation sub-operation returning T.
+template <typename T = void>
+class [[nodiscard]] Op {
+public:
+  using promise_type = detail::OpPromise<T>;
+
+  Op() noexcept = default;
+  explicit Op(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  Op(Op&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Op& operator=(Op&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+  ~Op() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return h_ != nullptr; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) const noexcept {
+        h.promise().continuation = cont;
+        return h;  // start the child; symmetric transfer
+      }
+      T await_resume() const {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+        if constexpr (!std::is_void_v<T>) return std::move(h.promise().value());
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  /// Release ownership of the coroutine handle (used by spawn()).
+  std::coroutine_handle<promise_type> release() noexcept { return std::exchange(h_, nullptr); }
+
+private:
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_{};
+};
+
+namespace detail {
+template <typename T>
+Op<T> OpPromise<T>::get_return_object() noexcept {
+  return Op<T>(std::coroutine_handle<OpPromise<T>>::from_promise(*this));
+}
+inline Op<void> OpPromise<void>::get_return_object() noexcept {
+  return Op<void>(std::coroutine_handle<OpPromise<void>>::from_promise(*this));
+}
+}  // namespace detail
+
+/// Shared completion record of a spawned root process.
+struct ProcessState {
+  bool done = false;
+  std::exception_ptr error{};
+};
+
+/// Handle to a detached root process.
+class Process {
+public:
+  Process() = default;
+  explicit Process(std::shared_ptr<ProcessState> st) noexcept : st_(std::move(st)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return st_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept { return st_ && st_->done; }
+  [[nodiscard]] bool failed() const noexcept { return st_ && st_->error != nullptr; }
+
+  /// Rethrow the process's uncaught exception, if any.
+  void rethrow_if_error() const {
+    if (st_ && st_->error) std::rethrow_exception(st_->error);
+  }
+
+private:
+  std::shared_ptr<ProcessState> st_;
+};
+
+namespace detail {
+
+struct RootTask {
+  struct promise_type {
+    Engine* engine = nullptr;
+    std::shared_ptr<ProcessState> st;
+
+    RootTask get_return_object() noexcept {
+      return RootTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Not suspending at the final point destroys the frame automatically.
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {
+      if (st) st->done = true;
+    }
+    void unhandled_exception() noexcept {
+      if (st) {
+        st->error = std::current_exception();
+        st->done = true;
+      }
+    }
+    ~promise_type() {
+      if (engine) engine->note_process_finished();
+    }
+  };
+  std::coroutine_handle<promise_type> h;
+};
+
+inline RootTask root_task(Op<void> op) { co_await std::move(op); }
+
+}  // namespace detail
+
+/// Launch `op` as a detached process, scheduled to start `start_delay`
+/// cycles from now. The returned handle reports completion and errors.
+inline Process spawn(Engine& engine, Op<void> op, Cycles start_delay = 0) {
+  auto st = std::make_shared<ProcessState>();
+  detail::RootTask t = detail::root_task(std::move(op));
+  t.h.promise().engine = &engine;
+  t.h.promise().st = st;
+  engine.note_process_started();
+  engine.schedule_in(start_delay, t.h);
+  return Process(st);
+}
+
+}  // namespace epi::sim

@@ -1,0 +1,75 @@
+#pragma once
+// Wait/notify primitives for simulation processes.
+//
+// WaitQueue is the condition-variable analogue: processes park on it and a
+// notifier wakes them (at the current cycle). It underpins memory watches,
+// DMA completion waits, and workgroup completion.
+
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace epi::sim {
+
+class WaitQueue {
+public:
+  explicit WaitQueue(Engine& e) noexcept : engine_(&e) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Awaitable: park until the next notify.
+  auto wait() noexcept {
+    struct Awaiter {
+      WaitQueue& q;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { q.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Wake every parked process (they resume at the current cycle, in the
+  /// order they parked).
+  void notify_all() {
+    for (auto h : waiters_) engine_->schedule_in(0, h);
+    waiters_.clear();
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    engine_->schedule_in(0, waiters_.front());
+    waiters_.erase(waiters_.begin());
+  }
+
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+private:
+  Engine* engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Re-check `pred` every `interval` cycles until it holds. This models a
+/// polling spin-loop where no event-driven wake-up is available.
+template <typename Pred>
+Op<void> poll_until(Engine& engine, Pred pred, Cycles interval = 4) {
+  while (!pred()) co_await delay(engine, interval);
+}
+
+/// Park until `pred()` holds, re-evaluating on every notify of `q`.
+/// This is the event-driven analogue of a flag spin: the memory system
+/// notifies the queue when a watched location changes.
+template <typename Pred>
+Op<void> wait_on(WaitQueue& q, Pred pred) {
+  while (!pred()) co_await q.wait();
+}
+
+/// Park until process `p` completes, re-checking every `interval` cycles.
+inline Op<void> join(Engine& engine, Process p, Cycles interval = 64) {
+  while (!p.done()) co_await delay(engine, interval);
+  p.rethrow_if_error();
+}
+
+}  // namespace epi::sim

@@ -1,0 +1,31 @@
+#pragma once
+// Plain-text table printer for the benchmark harnesses: every bench binary
+// prints rows in the same layout as the corresponding paper table/figure so
+// EXPERIMENTS.md can be assembled by inspection.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace epi::util {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment to `os`.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("%.2f" etc.) without iostream noise.
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+}  // namespace epi::util

@@ -1,0 +1,169 @@
+// Unit tests for coordinates, the global address map, and timing parameters.
+
+#include <gtest/gtest.h>
+
+#include "arch/address_map.hpp"
+#include "arch/coords.hpp"
+#include "arch/timing.hpp"
+
+namespace {
+
+using namespace epi::arch;
+
+TEST(Coords, ManhattanDistance) {
+  EXPECT_EQ(manhattan_distance({0, 0}, {0, 0}), 0u);
+  EXPECT_EQ(manhattan_distance({0, 0}, {0, 1}), 1u);
+  EXPECT_EQ(manhattan_distance({0, 0}, {1, 1}), 2u);
+  EXPECT_EQ(manhattan_distance({7, 7}, {0, 0}), 14u);
+  EXPECT_EQ(manhattan_distance({3, 1}, {1, 4}), 5u);
+}
+
+TEST(Coords, IndexRoundTrip) {
+  const MeshDims d{8, 8};
+  for (unsigned i = 0; i < d.core_count(); ++i) {
+    EXPECT_EQ(d.index_of(d.coord_of(i)), i);
+  }
+}
+
+TEST(Coords, NeighbourEdges) {
+  const MeshDims d{8, 8};
+  CoreCoord out;
+  EXPECT_FALSE(d.neighbour({0, 0}, Dir::North, out));
+  EXPECT_FALSE(d.neighbour({0, 0}, Dir::West, out));
+  ASSERT_TRUE(d.neighbour({0, 0}, Dir::South, out));
+  EXPECT_EQ(out, (CoreCoord{1, 0}));
+  ASSERT_TRUE(d.neighbour({0, 0}, Dir::East, out));
+  EXPECT_EQ(out, (CoreCoord{0, 1}));
+  EXPECT_FALSE(d.neighbour({7, 7}, Dir::South, out));
+  EXPECT_FALSE(d.neighbour({7, 7}, Dir::East, out));
+}
+
+TEST(Coords, NonSquareMesh) {
+  const MeshDims d{2, 4};
+  EXPECT_EQ(d.core_count(), 8u);
+  EXPECT_TRUE(d.contains({1, 3}));
+  EXPECT_FALSE(d.contains({2, 0}));
+  EXPECT_FALSE(d.contains({0, 4}));
+}
+
+TEST(AddressMap, CoreZeroMatchesE64G401) {
+  // On the E64G401 the first core is at absolute (32,8): id 0x808, so its
+  // scratchpad aliases globally at 0x80800000.
+  const AddressMap m{{8, 8}};
+  EXPECT_EQ(m.core_id({0, 0}), 0x808u);
+  EXPECT_EQ(m.global({0, 0}, 0), 0x80800000u);
+  EXPECT_EQ(m.global({7, 7}, 0x1234), 0x9CF01234u);
+}
+
+TEST(AddressMap, GlobalRoundTripAllCores) {
+  const AddressMap m{{8, 8}};
+  for (unsigned r = 0; r < 8; ++r) {
+    for (unsigned c = 0; c < 8; ++c) {
+      const Addr a = m.global({r, c}, 0x2F00);
+      auto core = m.core_of(a);
+      ASSERT_TRUE(core.has_value());
+      EXPECT_EQ(*core, (CoreCoord{r, c}));
+      EXPECT_EQ(AddressMap::local_offset(a), 0x2F00u);
+    }
+  }
+}
+
+TEST(AddressMap, LocalAliasWindow) {
+  EXPECT_TRUE(AddressMap::is_local_alias(0x0000));
+  EXPECT_TRUE(AddressMap::is_local_alias(0x7FFF));
+  EXPECT_TRUE(AddressMap::is_local_alias(0xFFFFF));
+  EXPECT_FALSE(AddressMap::is_local_alias(0x80800000));
+}
+
+TEST(AddressMap, ExternalWindow) {
+  const AddressMap m = AddressMap::make({8, 8});
+  EXPECT_EQ(m.external_base, 0x8E000000u);  // authentic Parallella window
+  EXPECT_TRUE(m.is_external(0x8E000000));
+  EXPECT_TRUE(m.is_external(0x8E000000 + 32 * 1024 * 1024 - 1));
+  EXPECT_FALSE(m.is_external(0x8E000000 + 32 * 1024 * 1024));
+  EXPECT_FALSE(m.is_external(0x80800000));
+  EXPECT_EQ(m.external_offset(0x8E000010), 0x10u);
+}
+
+TEST(AddressMap, LargeMeshLayoutIsCollisionFree) {
+  // Projection meshes (paper section IX: up to 4096 cores) relocate the
+  // origin and the external window so no core id aliases it.
+  for (unsigned edge : {16u, 32u, 62u}) {
+    const AddressMap m = AddressMap::make({edge, edge});
+    ASSERT_TRUE(m.has_external()) << edge;
+    for (unsigned r = 0; r < edge; ++r) {
+      for (unsigned c = 0; c < edge; ++c) {
+        const Addr a = m.global({r, c}, 0x1000);
+        EXPECT_FALSE(m.is_external(a)) << edge << ":" << r << "," << c;
+        auto core = m.core_of(a);
+        ASSERT_TRUE(core.has_value()) << edge << ":" << r << "," << c;
+        EXPECT_EQ(*core, (CoreCoord{r, c}));
+      }
+    }
+    EXPECT_FALSE(m.core_of(m.external_base).has_value());
+    EXPECT_FALSE(m.core_of(m.external_base + m.external_bytes - 1).has_value());
+  }
+}
+
+TEST(AddressMap, FullRoadmapMeshHasNoExternalWindow) {
+  // 63x63 core windows fill the id space; no row remains for DRAM.
+  const AddressMap m = AddressMap::make({63, 63});
+  EXPECT_FALSE(m.has_external());
+  const Addr a = m.global({62, 62}, 0x7FFC);
+  auto core = m.core_of(a);
+  ASSERT_TRUE(core.has_value());
+  EXPECT_EQ(*core, (CoreCoord{62, 62}));
+}
+
+TEST(AddressMap, OversizedMeshRejected) {
+  EXPECT_THROW((void)AddressMap::make({64, 64}), std::invalid_argument);
+  EXPECT_THROW((void)AddressMap::make({8, 80}), std::invalid_argument);
+}
+
+TEST(AddressMap, ExternalWindowIsNotACore) {
+  const AddressMap m{{8, 8}};
+  EXPECT_FALSE(m.core_of(0x8E000000).has_value());
+  EXPECT_FALSE(m.core_of(0x00001000).has_value());  // local alias
+}
+
+TEST(AddressMap, BankAssignment) {
+  EXPECT_EQ(AddressMap::bank_of(0x0000), 0u);
+  EXPECT_EQ(AddressMap::bank_of(0x1FFF), 0u);
+  EXPECT_EQ(AddressMap::bank_of(0x2000), 1u);
+  EXPECT_EQ(AddressMap::bank_of(0x4000), 2u);
+  EXPECT_EQ(AddressMap::bank_of(0x6000), 3u);
+  EXPECT_EQ(AddressMap::bank_of(0x7FFF), 3u);
+}
+
+TEST(Timing, PeakMatchesPaper) {
+  const TimingParams t{};
+  // Section IV: 76.8 single-precision GFLOPS on 64 cores at 600 MHz.
+  EXPECT_DOUBLE_EQ(t.peak_gflops_per_core() * 64, 76.8);
+}
+
+TEST(Timing, ELinkSustainedWriteRate) {
+  const TimingParams t{};
+  // Section V-B: 150 MB/s observed, "exactly one quarter" of 600 MB/s.
+  EXPECT_DOUBLE_EQ(t.elink_write_bytes_per_sec(), 150e6);
+}
+
+TEST(Timing, SecondsAndGflops) {
+  const TimingParams t{};
+  EXPECT_DOUBLE_EQ(t.seconds(600'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(t.gflops(76.8e9, 600'000'000), 76.8);
+  EXPECT_DOUBLE_EQ(t.gflops(1.0, 0), 0.0);
+}
+
+TEST(Timing, TableOneCalibration) {
+  // 80-byte message = 20 words; Table I: 11.12 ns/word at distance 1.
+  const TimingParams t{};
+  const double ns_per_word = t.direct_write_cycles_per_word / t.clock_hz * 1e9;
+  EXPECT_NEAR(ns_per_word, 11.12, 0.02);
+  // At distance 14: 12.57 ns/word.
+  const double ns_far =
+      (t.direct_write_cycles_per_word + 13 * t.direct_write_cycles_per_word_per_hop) /
+      t.clock_hz * 1e9;
+  EXPECT_NEAR(ns_far, 12.57, 0.05);
+}
+
+}  // namespace

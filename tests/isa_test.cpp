@@ -1,0 +1,255 @@
+// Tests for the eCore ISA subset: assembler syntax, functional semantics,
+// and the dual-issue / hazard timing model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/interpreter.hpp"
+
+namespace {
+
+using namespace epi::isa;
+
+struct Run {
+  RegFile regs;
+  std::vector<std::byte> mem;
+  ExecStats st;
+};
+
+Run run(const std::string& text, std::size_t mem_bytes = 4096,
+        const InterpreterConfig& cfg = {}) {
+  Run r;
+  r.mem.resize(mem_bytes);
+  const Program p = assemble(text);
+  r.st = execute(p, r.regs, r.mem, cfg);
+  return r;
+}
+
+// ---- assembler ---------------------------------------------------------------
+
+TEST(Assembler, ParsesRepresentativeProgram) {
+  const Program p = assemble(R"(
+    ; comment-only line
+    mov r7, #3
+  loop:
+    sub r7, r7, #1
+    bne loop
+    halt
+  )");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.code[0].op, Opcode::MovImm);
+  EXPECT_EQ(p.code[2].op, Opcode::Bne);
+  EXPECT_EQ(p.code[2].imm, 1);  // resolved label
+}
+
+TEST(Assembler, RejectsBadInput) {
+  EXPECT_THROW((void)assemble("frobnicate r1, r2"), AssemblyError);
+  EXPECT_THROW((void)assemble("mov r64, #1\nhalt"), AssemblyError);
+  EXPECT_THROW((void)assemble("bne nowhere\nhalt"), AssemblyError);
+  EXPECT_THROW((void)assemble("ldrd r3, [r0, #0]\nhalt"), AssemblyError);  // odd pair
+  EXPECT_THROW((void)assemble("x: halt\nx: halt"), AssemblyError);         // dup label
+  EXPECT_THROW((void)assemble("ldr r1, [r0, #zz]\nhalt"), AssemblyError);
+}
+
+TEST(Assembler, HexAndNegativeImmediates) {
+  const Program p = assemble("mov r1, #0x10\nmov r2, #-5\nhalt");
+  EXPECT_EQ(p.code[0].imm, 16);
+  EXPECT_EQ(p.code[1].imm, -5);
+}
+
+// ---- functional semantics -----------------------------------------------------
+
+TEST(Interpreter, IntegerArithmeticAndFlags) {
+  auto r = run(R"(
+    mov r1, #10
+    add r2, r1, #5
+    sub r3, r2, r1
+    halt
+  )");
+  EXPECT_EQ(r.regs.i(2), 15);
+  EXPECT_EQ(r.regs.i(3), 5);
+}
+
+TEST(Interpreter, FpuOps) {
+  auto r = run(R"(
+    mov r1, #0x40400000   ; 3.0f
+    mov r2, #0x40000000   ; 2.0f
+    mov r3, #0
+    fmadd r3, r1, r2      ; 0 + 3*2
+    fmul r4, r1, r2
+    fadd r5, r1, r2
+    fsub r6, r1, r2
+    halt
+  )");
+  EXPECT_EQ(r.regs.f(3), 6.0f);
+  EXPECT_EQ(r.regs.f(4), 6.0f);
+  EXPECT_EQ(r.regs.f(5), 5.0f);
+  EXPECT_EQ(r.regs.f(6), 1.0f);
+}
+
+TEST(Interpreter, LoadsStoresAndPostmodify) {
+  auto r = run(R"(
+    mov r1, #0x11223344
+    mov r0, #16
+    str r1, [r0], #4
+    str r1, [r0, #0]
+    mov r2, #16
+    ldr r3, [r2], #4
+    ldr r4, [r2, #0]
+    ldrd r6, [r2, #-4]
+    halt
+  )");
+  // r0: 16 -> 20 after one postmodify store; the second used offset 0.
+  EXPECT_EQ(r.regs.i(0), 20);
+  EXPECT_EQ(r.regs.raw(3), 0x11223344u);
+  EXPECT_EQ(r.regs.raw(4), 0x11223344u);
+  EXPECT_EQ(r.regs.raw(6), 0x11223344u);
+  EXPECT_EQ(r.regs.raw(7), 0x11223344u);
+  EXPECT_EQ(r.regs.i(2), 20);
+}
+
+TEST(Interpreter, LoopExecutesCorrectCount) {
+  auto r = run(R"(
+    mov r1, #0
+    mov r7, #10
+  loop:
+    add r1, r1, #3
+    sub r7, r7, #1
+    bne loop
+    halt
+  )");
+  EXPECT_EQ(r.regs.i(1), 30);
+}
+
+TEST(Interpreter, MemoryBoundsChecked) {
+  EXPECT_THROW(run("mov r0, #5000\nldr r1, [r0, #0]\nhalt", 4096), ExecutionError);
+  EXPECT_THROW(run("mov r0, #4094\nstr r1, [r0, #0]\nhalt", 4096), ExecutionError);
+}
+
+TEST(Interpreter, MissingHaltDetected) {
+  EXPECT_THROW(run("mov r1, #1"), ExecutionError);
+}
+
+TEST(Interpreter, InfiniteLoopGuard) {
+  InterpreterConfig cfg;
+  cfg.max_instructions = 1000;
+  EXPECT_THROW(run("x: b x\nhalt", 64, cfg), ExecutionError);
+}
+
+// ---- timing model -------------------------------------------------------------
+
+TEST(Timing, FpuAndIaluDualIssue) {
+  // 4 FMADDs to distinct registers interleaved with 4 MOVs: pairs issue
+  // together, 4 cycles total.
+  auto r = run(R"(
+    fmadd r32, r1, r2
+    mov r10, #1
+    fmadd r33, r1, r2
+    mov r11, #1
+    fmadd r34, r1, r2
+    mov r12, #1
+    fmadd r35, r1, r2
+    mov r13, #1
+    halt
+  )");
+  EXPECT_EQ(r.st.cycles, 4u);
+  EXPECT_EQ(r.st.instructions, 8u);
+}
+
+TEST(Timing, BackToBackFmaddsOnDistinctRegsPipeline) {
+  auto r = run(R"(
+    fmadd r32, r1, r2
+    fmadd r33, r1, r2
+    fmadd r34, r1, r2
+    fmadd r35, r1, r2
+    fmadd r36, r1, r2
+    halt
+  )");
+  EXPECT_EQ(r.st.cycles, 5u);  // one per cycle
+  EXPECT_EQ(r.st.flops, 10u);
+}
+
+TEST(Timing, AccumulatorReuseStallsFiveCycles) {
+  // The paper's measured hazard: an FMADD accumulator cannot be an FPU
+  // source/result again for 5 cycles.
+  auto r = run(R"(
+    fmadd r32, r1, r2
+    fmadd r32, r1, r2
+    halt
+  )");
+  EXPECT_EQ(r.st.cycles, 6u);  // issue 0, then issue 5
+  EXPECT_EQ(r.st.hazard_stalls, 4u);
+}
+
+TEST(Timing, FiveAccumulatorRotationAvoidsTheStall) {
+  // The paper's remedy: rotate five accumulators so each is touched every
+  // 5 cycles -- exactly at the hazard boundary, no stall.
+  std::string text;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int k = 0; k < 5; ++k) {
+      text += "fmadd r" + std::to_string(32 + k) + ", r1, r2\n";
+    }
+  }
+  text += "halt\n";
+  auto r = run(text);
+  EXPECT_EQ(r.st.cycles, 20u);
+  EXPECT_EQ(r.st.hazard_stalls, 0u);
+}
+
+TEST(Timing, StoreOfFreshAccumulatorWaits) {
+  auto r = run(R"(
+    mov r0, #64
+    fmadd r32, r1, r2
+    str r32, [r0, #0]
+    halt
+  )");
+  // mov@0, fmadd@0 (pair), str waits until fmadd+5.
+  EXPECT_EQ(r.st.cycles, 6u);
+}
+
+TEST(Timing, TakenBranchCostsThreeCycles) {
+  auto no_loop = run(R"(
+    mov r1, #1
+    mov r2, #1
+    mov r3, #1
+    mov r4, #1
+    halt
+  )");
+  EXPECT_EQ(no_loop.st.cycles, 4u);  // IALU ops serialise on one slot
+  auto with_branch = run(R"(
+    mov r7, #2
+  loop:
+    mov r1, #1
+    sub r7, r7, #1
+    bne loop
+    halt
+  )");
+  // Setup mov + two iterations of 3 IALU cycles + one taken-branch penalty.
+  EXPECT_EQ(with_branch.st.cycles, 1u + 3u + 3u + 3u);
+  EXPECT_EQ(with_branch.st.branch_stalls, 3u);
+}
+
+TEST(Timing, LoadUseIsBackToBack) {
+  auto r = run(R"(
+    mov r0, #0
+    ldr r1, [r0, #0]
+    add r2, r1, #1
+    halt
+  )");
+  // mov@0, ldr@1, result ready @2, add@2.
+  EXPECT_EQ(r.st.cycles, 3u);
+}
+
+TEST(Timing, LoadFeedingFmaddReadyNextCycle) {
+  auto r = run(R"(
+    mov r0, #0
+    ldr r1, [r0, #0]
+    fmadd r32, r1, r2
+    halt
+  )");
+  EXPECT_EQ(r.st.cycles, 3u);  // fmadd pairs one cycle after the load
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Tests for machine-level configuration toggles: Errata #0 duplicate IO
+// transactions and scratchpad bank-conflict accounting.
+
+#include <gtest/gtest.h>
+
+#include "dma/descriptor.hpp"
+#include "host/system.hpp"
+
+namespace {
+
+using namespace epi;
+using arch::Addr;
+using arch::CoreCoord;
+using sim::Cycles;
+
+Cycles remote_read_cost(host::System& sys, CoreCoord reader) {
+  auto wg = sys.open(0, 0, 8, 8);
+  Cycles cost = 0;
+  wg.load([&cost, reader](device::CoreCtx& ctx) -> sim::Op<void> {
+    return [](device::CoreCtx& c, CoreCoord rd, Cycles& out) -> sim::Op<void> {
+      if (c.coord() != rd) co_return;
+      const Cycles t0 = c.now();
+      (void)co_await c.read_u32(c.global({0, 0}, 0x4000));
+      out = c.now() - t0;
+    }(ctx, reader, cost);
+  });
+  wg.run();
+  return cost;
+}
+
+TEST(ErrataDuplicateIO, DisabledByDefault) {
+  host::System sys;
+  const Cycles normal = remote_read_cost(sys, {1, 4});  // distance 5
+  host::System sys2;
+  const Cycles row2 = remote_read_cost(sys2, {2, 3});   // distance 5, row 2
+  // Same distance from (0,0): identical cost when the erratum is off.
+  EXPECT_EQ(normal, row2);
+}
+
+TEST(ErrataDuplicateIO, DoublesReadsFromRow2AndCol2) {
+  arch::MachineConfig cfg;
+  cfg.model_errata_duplicate_io = true;
+  // Row 2, column 2 and the intersection are affected; others are not.
+  host::System a(cfg);
+  const Cycles row2 = remote_read_cost(a, {2, 3});
+  host::System b(cfg);
+  const Cycles col2 = remote_read_cost(b, {3, 2});
+  host::System c(cfg);
+  const Cycles clean = remote_read_cost(c, {1, 4});  // distance 5, unaffected
+  EXPECT_EQ(row2, col2);  // symmetric distance and both affected
+  EXPECT_EQ(row2, 2 * clean);
+}
+
+TEST(ErrataDuplicateIO, WritesUnaffected) {
+  // The erratum hits fetches and data reads, "nor, apparently, for data
+  // writes" (section V-B).
+  arch::MachineConfig cfg;
+  cfg.model_errata_duplicate_io = true;
+  auto measure_store = [](host::System& sys, CoreCoord writer) {
+    auto wg = sys.open(0, 0, 8, 8);
+    Cycles cost = 0;
+    wg.load([&cost, writer](device::CoreCtx& ctx) -> sim::Op<void> {
+      return [](device::CoreCtx& c, CoreCoord w, Cycles& out) -> sim::Op<void> {
+        if (c.coord() != w) co_return;
+        const Cycles t0 = c.now();
+        co_await c.write_u32(c.global({0, 0}, 0x4000), 1);
+        out = c.now() - t0;
+      }(ctx, writer, cost);
+    });
+    wg.run();
+    return cost;
+  };
+  host::System a(cfg);
+  host::System b(cfg);
+  EXPECT_EQ(measure_store(a, {2, 3}), measure_store(b, {3, 3}));
+}
+
+TEST(BankConflicts, LocalAccessPenalisedDuringIncomingDma) {
+  arch::MachineConfig cfg;
+  cfg.model_bank_conflicts = true;
+  host::System sys(cfg);
+  auto wg = sys.open(0, 0, 1, 2);
+  // Core (0,1) DMA-streams 8 KB into core (0,0)'s bank 2 (0x4000-0x5FFF)
+  // while core (0,0) repeatedly reads a bank-2 word: those reads must cost
+  // more than the same reads against idle banks.
+  Cycles busy_cost = 0, idle_cost = 0;
+  wg.load([&](device::CoreCtx& ctx) -> sim::Op<void> {
+    return [](device::CoreCtx& c, Cycles& busy, Cycles& idle) -> sim::Op<void> {
+      if (c.group_index() == 1) {
+        co_await c.dma_set_desc();
+        auto d = dma::DmaDescriptor::linear(c.global({0, 0}, 0x4000),
+                                            c.my_global(0x4000), 8192);
+        co_await c.dma_start(0, d);
+        co_await c.dma_wait(0);
+      } else {
+        co_await c.compute(600);  // let the stream spin up
+        Cycles t0 = c.now();
+        for (int i = 0; i < 50; ++i) (void)co_await c.read_u32(0x5F00);
+        busy = c.now() - t0;
+        co_await c.compute(20000);  // stream long gone
+        t0 = c.now();
+        for (int i = 0; i < 50; ++i) (void)co_await c.read_u32(0x5F00);
+        idle = c.now() - t0;
+      }
+    }(ctx, busy_cost, idle_cost);
+  });
+  wg.run();
+  EXPECT_GT(busy_cost, idle_cost);
+  EXPECT_EQ(idle_cost, 50u);  // 1 cycle per idle local load
+}
+
+TEST(BankConflicts, OffByDefault) {
+  host::System sys;
+  auto wg = sys.open(0, 0, 1, 2);
+  Cycles busy_cost = 0;
+  wg.load([&](device::CoreCtx& ctx) -> sim::Op<void> {
+    return [](device::CoreCtx& c, Cycles& busy) -> sim::Op<void> {
+      if (c.group_index() == 1) {
+        co_await c.dma_set_desc();
+        auto d = dma::DmaDescriptor::linear(c.global({0, 0}, 0x4000),
+                                            c.my_global(0x4000), 8192);
+        co_await c.dma_start(0, d);
+        co_await c.dma_wait(0);
+      } else {
+        co_await c.compute(600);
+        const Cycles t0 = c.now();
+        for (int i = 0; i < 50; ++i) (void)co_await c.read_u32(0x5F00);
+        busy = c.now() - t0;
+      }
+    }(ctx, busy_cost);
+  });
+  wg.run();
+  EXPECT_EQ(busy_cost, 50u);
+}
+
+TEST(BankConflicts, DifferentBankUnaffected) {
+  arch::MachineConfig cfg;
+  cfg.model_bank_conflicts = true;
+  host::System sys(cfg);
+  auto wg = sys.open(0, 0, 1, 2);
+  Cycles cost = 0;
+  wg.load([&](device::CoreCtx& ctx) -> sim::Op<void> {
+    return [](device::CoreCtx& c, Cycles& out) -> sim::Op<void> {
+      if (c.group_index() == 1) {
+        co_await c.dma_set_desc();
+        auto d = dma::DmaDescriptor::linear(c.global({0, 0}, 0x4000),
+                                            c.my_global(0x4000), 8192);
+        co_await c.dma_start(0, d);
+        co_await c.dma_wait(0);
+      } else {
+        co_await c.compute(600);
+        const Cycles t0 = c.now();
+        // Bank 1 (0x2000-0x3FFF) is idle; the stream fills bank 2.
+        for (int i = 0; i < 50; ++i) (void)co_await c.read_u32(0x2F00);
+        out = c.now() - t0;
+      }
+    }(ctx, cost);
+  });
+  wg.run();
+  EXPECT_EQ(cost, 50u);
+}
+
+}  // namespace

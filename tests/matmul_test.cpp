@@ -1,0 +1,221 @@
+// Tests for the matmul schedule model and the three kernel levels
+// (single-core, on-chip Cannon, off-chip paged), plus the SUMMA extension.
+
+#include <gtest/gtest.h>
+
+#include "core/matmul.hpp"
+#include "core/summa.hpp"
+
+namespace {
+
+using namespace epi;
+using core::Codegen;
+using core::MatmulSchedule;
+
+// ---- schedule model ---------------------------------------------------------
+
+TEST(MatmulSchedule, TableFourCalibration) {
+  // Table IV: single-core GFLOPS 0.85 (8x8) ... 1.15 (32x32).
+  const arch::TimingParams t{};
+  const struct {
+    unsigned n;
+    double gf;
+  } rows[] = {{8, 0.85}, {16, 1.07}, {20, 1.11}, {24, 1.12}, {32, 1.15}};
+  for (const auto& r : rows) {
+    const auto cy = MatmulSchedule::block_cycles(r.n, r.n, r.n, Codegen::TunedAsm);
+    const double gf = t.gflops(MatmulSchedule::block_flops(r.n, r.n, r.n), cy);
+    EXPECT_NEAR(gf, r.gf, 0.06) << r.n;
+  }
+}
+
+TEST(MatmulSchedule, EfficiencyGrowsWithSize) {
+  const arch::TimingParams t{};
+  double prev = 0.0;
+  for (unsigned n : {8u, 16u, 20u, 24u, 32u}) {
+    const double gf = t.gflops(MatmulSchedule::block_flops(n, n, n),
+                               MatmulSchedule::block_cycles(n, n, n, Codegen::TunedAsm));
+    EXPECT_GT(gf, prev);
+    prev = gf;
+  }
+}
+
+TEST(MatmulSchedule, CCompilerAtSixtyPercent) {
+  // Section VII: the C kernel reached "only 60% of peak performance".
+  const auto tuned = MatmulSchedule::block_cycles(32, 32, 32, Codegen::TunedAsm);
+  const auto cc = MatmulSchedule::block_cycles(32, 32, 32, Codegen::CCompiler);
+  EXPECT_NEAR(static_cast<double>(tuned) / static_cast<double>(cc), 0.60, 0.01);
+}
+
+TEST(MatmulSchedule, DegenerateDimsFree) {
+  EXPECT_EQ(MatmulSchedule::block_cycles(0, 8, 8, Codegen::TunedAsm), 0u);
+  EXPECT_EQ(MatmulSchedule::block_cycles(8, 0, 8, Codegen::TunedAsm), 0u);
+  EXPECT_EQ(MatmulSchedule::block_cycles(8, 8, 0, Codegen::TunedAsm), 0u);
+}
+
+// ---- single core ------------------------------------------------------------
+
+class MatmulSingleSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MatmulSingleSizes, BitExactVsReference) {
+  const unsigned n = GetParam();
+  host::System sys;
+  auto r = core::run_matmul_single(sys, n, n, n, Codegen::TunedAsm, 100 + n, true);
+  EXPECT_TRUE(r.verified) << "max error " << r.max_error;
+  EXPECT_GT(r.gflops, 0.5);
+  EXPECT_LT(r.gflops, 1.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulSingleSizes, ::testing::Values(8u, 16u, 20u, 24u, 32u));
+
+TEST(MatmulSingle, RectangularDims) {
+  host::System sys;
+  auto r = core::run_matmul_single(sys, 16, 32, 24, Codegen::TunedAsm, 5, true);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(MatmulSingle, OversizedOperandsThrow) {
+  host::System sys;
+  EXPECT_THROW((void)core::run_matmul_single(sys, 64, 64, 64, Codegen::TunedAsm, 1, false),
+               std::invalid_argument);
+}
+
+TEST(MatmulSingle, CCompilerSlowerSameResult) {
+  host::System a, b;
+  auto tuned = core::run_matmul_single(a, 16, 16, 16, Codegen::TunedAsm, 9, true);
+  auto cc = core::run_matmul_single(b, 16, 16, 16, Codegen::CCompiler, 9, true);
+  EXPECT_TRUE(tuned.verified);
+  EXPECT_TRUE(cc.verified);
+  EXPECT_GT(cc.cycles, tuned.cycles);
+}
+
+// ---- on-chip Cannon -----------------------------------------------------------
+
+struct OnChipCase {
+  unsigned g, b;
+};
+
+class MatmulOnChip : public ::testing::TestWithParam<OnChipCase> {};
+
+TEST_P(MatmulOnChip, CorrectWithinFloatTolerance) {
+  const auto p = GetParam();
+  host::System sys;
+  auto r = core::run_matmul_onchip(sys, p.g, p.b, Codegen::TunedAsm, p.g * 100 + p.b, true);
+  EXPECT_TRUE(r.verified) << "g=" << p.g << " b=" << p.b << " err=" << r.max_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, MatmulOnChip,
+                         ::testing::Values(OnChipCase{2, 8}, OnChipCase{2, 16},
+                                           OnChipCase{2, 32}, OnChipCase{3, 12},
+                                           OnChipCase{4, 8}, OnChipCase{4, 24},
+                                           OnChipCase{4, 32}, OnChipCase{8, 8},
+                                           OnChipCase{8, 32}));
+
+TEST(MatmulOnChipPerf, TableFiveEfficiencyBand32) {
+  // Table V: 32x32 per-core blocks run at ~85% of peak on 2x2..8x8 groups.
+  for (unsigned g : {2u, 4u, 8u}) {
+    host::System sys;
+    auto r = core::run_matmul_onchip(sys, g, 32, Codegen::TunedAsm, 3, false);
+    const double peak = 1.2 * g * g;
+    const double frac = r.gflops / peak;
+    EXPECT_GT(frac, 0.78) << g;
+    EXPECT_LT(frac, 0.93) << g;
+  }
+}
+
+TEST(MatmulOnChipPerf, SmallBlocksCommBound) {
+  // Table V: 8x8 per-core blocks reach only ~26% of peak.
+  host::System sys;
+  auto r = core::run_matmul_onchip(sys, 4, 8, Codegen::TunedAsm, 3, false);
+  const double frac = r.gflops / (1.2 * 16);
+  EXPECT_LT(frac, 0.45);
+  EXPECT_GT(frac, 0.10);
+}
+
+TEST(MatmulOnChipPerf, EfficiencyGrowsWithBlockSize) {
+  double prev = 0.0;
+  for (unsigned b : {8u, 16u, 24u, 32u}) {
+    host::System sys;
+    auto r = core::run_matmul_onchip(sys, 2, b, Codegen::TunedAsm, 3, false);
+    const double frac = r.gflops / (1.2 * 4);
+    EXPECT_GT(frac, prev) << b;
+    prev = frac;
+  }
+}
+
+TEST(MatmulOnChip, RectangularBlocks) {
+  host::System sys;
+  auto r = core::run_matmul_onchip_rect(sys, 2, 16, 8, 24, Codegen::TunedAsm, 11, true);
+  EXPECT_TRUE(r.verified) << r.max_error;
+}
+
+TEST(MatmulOnChip, OversizedBlockThrows) {
+  host::System sys;
+  EXPECT_THROW((void)core::run_matmul_onchip(sys, 2, 40, Codegen::TunedAsm, 1, false),
+               std::invalid_argument);
+}
+
+// ---- off-chip paged -----------------------------------------------------------
+
+TEST(MatmulOffChip, CorrectAt512WithSmallGroup) {
+  // 2x2 group, 32x32 blocks, 128-superblocks, N=256: exercises multiple
+  // superblock pages without the full 8x8 cost in a unit test.
+  host::System sys;
+  auto r = core::run_matmul_offchip(sys, 256, 2, 32, Codegen::TunedAsm, 17, true);
+  EXPECT_TRUE(r.verified) << r.max_error;
+  EXPECT_GT(r.transfer_fraction, r.compute_fraction);
+}
+
+TEST(MatmulOffChip, TransferDominatedLikeTableSix) {
+  // Table VI: ~87-89% of time in shared-memory transfers, ~11-13% compute.
+  host::System sys;
+  auto r = core::run_matmul_offchip(sys, 512, 8, 32, Codegen::TunedAsm, 23, false);
+  EXPECT_GT(r.transfer_fraction, 0.75);
+  EXPECT_LT(r.compute_fraction, 0.25);
+  // GFLOPS collapses to ~11% of peak.
+  EXPECT_LT(r.gflops, 15.0);
+  EXPECT_GT(r.gflops, 4.0);
+}
+
+TEST(MatmulOffChip, IndivisibleSizeThrows) {
+  host::System sys;
+  EXPECT_THROW((void)core::run_matmul_offchip(sys, 500, 8, 32, Codegen::TunedAsm, 1, false),
+               std::invalid_argument);
+}
+
+// ---- SUMMA extension ----------------------------------------------------------
+
+struct SummaCase {
+  unsigned g, b;
+};
+
+class Summa : public ::testing::TestWithParam<SummaCase> {};
+
+TEST_P(Summa, BitExactVsReference) {
+  // SUMMA accumulates k-panels in ascending order, so it is bit-identical
+  // to the host reference (unlike Cannon's rotated order).
+  const auto p = GetParam();
+  host::System sys;
+  auto r = core::run_matmul_summa(sys, p.g, p.b, Codegen::TunedAsm, 31, true);
+  EXPECT_EQ(r.max_error, 0.0f) << "g=" << p.g << " b=" << p.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, Summa,
+                         ::testing::Values(SummaCase{2, 8}, SummaCase{2, 24},
+                                           SummaCase{4, 16}, SummaCase{8, 8}));
+
+TEST(Summa, OversizedBlockThrows) {
+  host::System sys;
+  EXPECT_THROW((void)core::run_matmul_summa(sys, 2, 32, Codegen::TunedAsm, 1, false),
+               std::invalid_argument);
+}
+
+TEST(Summa, CannonFasterOnRotationFriendlyMesh) {
+  // Cannon's nearest-neighbour rotations beat SUMMA's broadcasts on a 2D
+  // mesh (the reason the paper chose Cannon).
+  host::System a, b;
+  auto cannon = core::run_matmul_onchip(a, 4, 16, Codegen::TunedAsm, 3, false);
+  auto summa = core::run_matmul_summa(b, 4, 16, Codegen::TunedAsm, 3, false);
+  EXPECT_LT(cannon.cycles, summa.cycles);
+}
+
+}  // namespace

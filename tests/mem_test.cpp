@@ -1,0 +1,169 @@
+// Unit tests for scratchpad, external memory, address resolution and the
+// watch mechanism.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/memory_system.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace epi;
+using arch::Addr;
+using arch::CoreCoord;
+
+TEST(LocalMemory, ReadWriteRoundTrip) {
+  mem::LocalMemory lm;
+  const std::uint32_t v = 0xDEADBEEF;
+  lm.write(0x100, std::as_bytes(std::span<const std::uint32_t, 1>(&v, 1)));
+  std::uint32_t out = 0;
+  lm.read(0x100, std::as_writable_bytes(std::span<std::uint32_t, 1>(&out, 1)));
+  EXPECT_EQ(out, v);
+}
+
+TEST(LocalMemory, OutOfRangeThrows) {
+  mem::LocalMemory lm;
+  EXPECT_THROW((void)lm.span(32 * 1024, 1), std::out_of_range);
+  EXPECT_THROW((void)lm.span(32 * 1024 - 2, 4), std::out_of_range);
+  EXPECT_NO_THROW((void)lm.span(32 * 1024 - 4, 4));
+  // Offset+size overflow must not wrap.
+  EXPECT_THROW((void)lm.span(0x7FFF, ~std::size_t{0}), std::out_of_range);
+}
+
+TEST(LocalMemory, BankOccupancyPenalty) {
+  mem::LocalMemory lm;
+  lm.occupy_banks(0x2000, 0x100, 500);
+  EXPECT_EQ(lm.bank_conflict_penalty(0x2010, 100), 1u);   // same bank, busy
+  EXPECT_EQ(lm.bank_conflict_penalty(0x2010, 600), 0u);   // busy window over
+  EXPECT_EQ(lm.bank_conflict_penalty(0x0010, 100), 0u);   // different bank
+}
+
+class MemorySystemTest : public ::testing::Test {
+protected:
+  sim::Engine engine;
+  mem::MemorySystem mem{arch::MeshDims{4, 4}, engine};
+};
+
+TEST_F(MemorySystemTest, LocalAliasResolvesToIssuer) {
+  const CoreCoord a{1, 2};
+  const CoreCoord b{2, 1};
+  mem.write_value<std::uint32_t>(0x4000, 111, a);
+  mem.write_value<std::uint32_t>(0x4000, 222, b);
+  EXPECT_EQ(mem.read_value<std::uint32_t>(0x4000, a), 111u);
+  EXPECT_EQ(mem.read_value<std::uint32_t>(0x4000, b), 222u);
+}
+
+TEST_F(MemorySystemTest, GlobalAddressHitsRemoteCore) {
+  const CoreCoord writer{0, 0};
+  const CoreCoord target{3, 3};
+  const Addr remote = mem.map().global(target, 0x1000);
+  mem.write_value<float>(remote, 2.5f, writer);
+  // The target sees the value through its local alias.
+  EXPECT_EQ(mem.read_value<float>(0x1000, target), 2.5f);
+}
+
+TEST_F(MemorySystemTest, ExternalWindowSharedByAll) {
+  const Addr ext = arch::AddressMap::kExternalBase + 0x100;
+  mem.write_value<std::uint64_t>(ext, 0x0123456789ABCDEFull, {0, 0});
+  EXPECT_EQ(mem.read_value<std::uint64_t>(ext, {3, 2}), 0x0123456789ABCDEFull);
+}
+
+TEST_F(MemorySystemTest, UnmappedAddressThrows) {
+  EXPECT_THROW(mem.write_value<std::uint32_t>(0x10000000, 0, {0, 0}), std::out_of_range);
+  // Core id outside the 4x4 mesh:
+  EXPECT_THROW(mem.write_value<std::uint32_t>(0x9CF00000, 0, {0, 0}), std::out_of_range);
+}
+
+TEST_F(MemorySystemTest, CopyMovesBytesBetweenCores) {
+  const CoreCoord src{0, 1};
+  const CoreCoord dst{1, 0};
+  std::vector<float> data{1.0f, 2.0f, 3.0f};
+  mem.write_bytes(mem.map().global(src, 0x2000), std::as_bytes(std::span(data)), src);
+  mem.copy(mem.map().global(dst, 0x3000), mem.map().global(src, 0x2000),
+           data.size() * sizeof(float), src);
+  std::vector<float> out(3);
+  mem.read_bytes(mem.map().global(dst, 0x3000), std::as_writable_bytes(std::span(out)), dst);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(MemorySystemTest, WatchWakesOnRemoteWrite) {
+  const CoreCoord waiter{1, 1};
+  const CoreCoord writer{0, 0};
+  const Addr flag = mem.map().global(waiter, 0x2F00);
+  mem.write_value<std::uint32_t>(flag, 0, writer);
+
+  sim::Cycles woke_at = 0;
+  sim::spawn(engine, [](mem::MemorySystem& m, sim::Engine& e, Addr f, CoreCoord w,
+                        sim::Cycles& t) -> sim::Op<void> {
+    co_await m.wait_u32(f, w, [](std::uint32_t v) { return v >= 3; });
+    t = e.now();
+  }(mem, engine, flag, waiter, woke_at));
+
+  // Writes below the threshold must not release the waiter.
+  engine.call_at(100, [&] { mem.write_value<std::uint32_t>(flag, 2, writer); });
+  engine.call_at(200, [&] { mem.write_value<std::uint32_t>(flag, 3, writer); });
+  engine.run();
+  EXPECT_GE(woke_at, 200u);
+  EXPECT_LE(woke_at, 205u);
+  EXPECT_EQ(mem.active_watches(), 0u);
+}
+
+TEST_F(MemorySystemTest, WatchOnLocalAliasWokenByGlobalWrite) {
+  const CoreCoord waiter{2, 2};
+  const CoreCoord writer{0, 3};
+  sim::Cycles woke_at = 0;
+  // Waiter spins on its *local alias* address; writer stores to the global
+  // form. The canonicalisation must connect them.
+  sim::spawn(engine, [](mem::MemorySystem& m, sim::Engine& e, CoreCoord w,
+                        sim::Cycles& t) -> sim::Op<void> {
+    co_await m.wait_u32(0x2F00, w, [](std::uint32_t v) { return v == 7; });
+    t = e.now();
+  }(mem, engine, waiter, woke_at));
+  engine.call_at(50, [&] {
+    mem.write_value<std::uint32_t>(mem.map().global(waiter, 0x2F00), 7, writer);
+  });
+  engine.run();
+  EXPECT_GE(woke_at, 50u);
+  EXPECT_LE(woke_at, 55u);
+}
+
+TEST_F(MemorySystemTest, PredicateAlreadyTrueDoesNotBlock) {
+  const CoreCoord c{0, 0};
+  mem.write_value<std::uint32_t>(0x2F00, 9, c);
+  bool done = false;
+  sim::spawn(engine, [](mem::MemorySystem& m, CoreCoord cc, bool& d) -> sim::Op<void> {
+    co_await m.wait_u32(0x2F00, cc, [](std::uint32_t v) { return v == 9; });
+    d = true;
+  }(mem, c, done));
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(engine.now(), 0u);
+}
+
+TEST_F(MemorySystemTest, MultipleWatchersOnSameAddress) {
+  const CoreCoord c{1, 3};
+  const Addr flag = mem.map().global(c, 0x2F10);
+  mem.write_value<std::uint32_t>(flag, 0, c);
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim::spawn(engine, [](mem::MemorySystem& m, Addr f, CoreCoord cc, int& n) -> sim::Op<void> {
+      co_await m.wait_u32(f, cc, [](std::uint32_t v) { return v != 0; });
+      ++n;
+    }(mem, flag, c, woke));
+  }
+  engine.call_at(10, [&] { mem.write_value<std::uint32_t>(flag, 1, c); });
+  engine.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST_F(MemorySystemTest, ExternalSpanBoundsChecked) {
+  EXPECT_NO_THROW((void)mem.external_span(0, 16));
+  EXPECT_THROW((void)mem.external_span(arch::AddressMap::kExternalBytes, 1),
+               std::out_of_range);
+  EXPECT_THROW((void)mem.external_span(arch::AddressMap::kExternalBytes - 4, 8),
+               std::out_of_range);
+}
+
+}  // namespace

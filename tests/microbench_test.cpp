@@ -1,0 +1,171 @@
+// Tests for the section-V micro-benchmarks: bandwidth/latency shapes
+// (Figures 2-3, Table I) and eLink contention (Tables II-III).
+
+#include <gtest/gtest.h>
+
+#include "core/microbench.hpp"
+
+namespace {
+
+using namespace epi;
+using core::measure_direct_write;
+using core::measure_dma;
+using core::measure_elink_contention;
+
+TEST(Microbench, DirectWriteBandwidthFlatWithSize) {
+  // CPU direct writes cost ~6.67 cycles/word regardless of message size:
+  // bandwidth is flat around 360 MB/s.
+  host::System sys;
+  auto small = measure_direct_write(sys, {0, 0}, {0, 1}, 128, 50);
+  host::System sys2;
+  auto large = measure_direct_write(sys2, {0, 0}, {0, 1}, 4096, 50);
+  EXPECT_NEAR(small.mb_per_s, 350.0, 60.0);
+  EXPECT_NEAR(large.mb_per_s, 360.0, 30.0);
+}
+
+TEST(Microbench, DmaBeatsDirectForLargeMessages) {
+  // Figure 2: DMA reaches ~2 GB/s for large messages, far above direct
+  // writes.
+  host::System a, b;
+  auto dma = measure_dma(a, {0, 0}, {0, 1}, 8192, 20);
+  auto direct = measure_direct_write(b, {0, 0}, {0, 1}, 8192, 20);
+  EXPECT_GT(dma.mb_per_s, 1500.0);
+  EXPECT_LT(dma.mb_per_s, 2400.0);
+  EXPECT_GT(dma.mb_per_s, 4.0 * direct.mb_per_s);
+}
+
+TEST(Microbench, DirectBeatsDmaForSmallMessages) {
+  // Figure 3: below the ~500-byte crossover, direct writes win.
+  host::System a, b;
+  auto dma = measure_dma(a, {0, 0}, {0, 1}, 64, 50);
+  auto direct = measure_direct_write(b, {0, 0}, {0, 1}, 64, 50);
+  EXPECT_LT(direct.us_per_msg, dma.us_per_msg);
+}
+
+TEST(Microbench, CrossoverBetween128And1024Bytes) {
+  // The paper puts the crossover "about 500 bytes"; our calibration must
+  // land in the same decade.
+  bool crossed = false;
+  std::uint32_t crossover = 0;
+  for (std::uint32_t bytes = 64; bytes <= 2048; bytes *= 2) {
+    host::System a, b;
+    auto dma = measure_dma(a, {0, 0}, {0, 1}, bytes, 20);
+    auto direct = measure_direct_write(b, {0, 0}, {0, 1}, bytes, 20);
+    if (!crossed && dma.us_per_msg <= direct.us_per_msg) {
+      crossed = true;
+      crossover = bytes;
+    }
+  }
+  ASSERT_TRUE(crossed);
+  EXPECT_GE(crossover, 128u);
+  EXPECT_LE(crossover, 1024u);
+}
+
+TEST(Microbench, TableOneDistanceLatency) {
+  // 80-byte messages from (0,0): per-word time grows from ~11.1 ns at
+  // distance 1 to ~12.6 ns at distance 14 -- a small effect.
+  struct Row {
+    arch::CoreCoord dst;
+    double ns;
+  };
+  const Row rows[] = {{{0, 1}, 11.12}, {{1, 1}, 11.14}, {{3, 3}, 11.62},
+                      {{4, 4}, 11.86}, {{7, 7}, 12.57}};
+  for (const auto& r : rows) {
+    host::System sys;
+    auto m = measure_direct_write(sys, {0, 0}, r.dst, 80, 200);
+    // Subtract the per-message flag store before dividing by 20 words.
+    const double flag_cycles = static_cast<double>(sys.timing().remote_store_issue_cycles);
+    const double cycles_per_msg = static_cast<double>(m.cycles) / 200.0 - flag_cycles;
+    const double ns_per_word = cycles_per_msg / 20.0 / sys.timing().clock_hz * 1e9;
+    EXPECT_NEAR(ns_per_word, r.ns, 0.25) << epi::arch::to_string(r.dst);
+  }
+}
+
+TEST(Microbench, ElinkFourWriters) {
+  // Table II shape: 2x2 writers; unequal shares; total ~ the sustained cap.
+  host::System sys;
+  auto res = measure_elink_contention(sys, 2, 2, 2048, 0.02);
+  ASSERT_EQ(res.nodes.size(), 4u);
+  double total = 0.0;
+  for (const auto& n : res.nodes) total += n.utilization;
+  EXPECT_GT(total, 0.90);
+  EXPECT_LE(total, 1.05);
+  // Every writer makes progress in the 4-node case (as in Table II).
+  for (const auto& n : res.nodes) EXPECT_GT(n.iterations, 0u);
+  // Table II ordering: (0,0) > (0,1) > (1,0) > (1,1).
+  EXPECT_GT(res.nodes[0].iterations, res.nodes[1].iterations);
+  EXPECT_GT(res.nodes[1].iterations, res.nodes[2].iterations);
+  EXPECT_GT(res.nodes[2].iterations, res.nodes[3].iterations);
+  // Shares are unequal: max at least 2x min.
+  std::uint64_t mn = ~0ull, mx = 0;
+  for (const auto& n : res.nodes) {
+    mn = std::min(mn, n.iterations);
+    mx = std::max(mx, n.iterations);
+  }
+  EXPECT_GE(mx, 2 * mn);
+}
+
+TEST(Microbench, ElinkSixtyFourWritersStarvation) {
+  // Table III shape: with 64 writers many far nodes get (almost) nothing
+  // while the total stays at the cap.
+  host::System sys;
+  auto res = measure_elink_contention(sys, 8, 8, 2048, 0.02);
+  ASSERT_EQ(res.nodes.size(), 64u);
+  double total = 0.0;
+  unsigned starved = 0;
+  for (const auto& n : res.nodes) {
+    total += n.utilization;
+    if (n.iterations <= 1) ++starved;
+  }
+  EXPECT_GT(total, 0.90);
+  EXPECT_LE(total, 1.05);
+  EXPECT_GE(starved, 16u);  // paper: 24 nodes at zero, more below 10 blocks
+  EXPECT_NEAR(res.total_mb_per_s, 150.0, 10.0);
+}
+
+TEST(Microbench, ElinkWindowScalesIterations) {
+  host::System a, b;
+  auto short_win = measure_elink_contention(a, 1, 1, 2048, 0.005);
+  auto long_win = measure_elink_contention(b, 1, 1, 2048, 0.02);
+  EXPECT_NEAR(static_cast<double>(long_win.nodes[0].iterations),
+              4.0 * static_cast<double>(short_win.nodes[0].iterations),
+              0.15 * static_cast<double>(long_win.nodes[0].iterations));
+}
+
+TEST(Microbench, RelayRingVisitsEveryNode) {
+  // The faithful Listing-1 benchmark: the message relays through every
+  // mesh node; per-transfer time matches the pairwise direct-write model.
+  host::System sys;
+  const auto ring = core::measure_relay_ring(sys, 4, 4, 80, 10);
+  // 80-byte adjacent transfer: ~20 words * 6.67 cycles + flag + wakeup.
+  const double cycles_per_msg =
+      static_cast<double>(ring.cycles) / (10.0 * 16.0);
+  EXPECT_GT(cycles_per_msg, 20 * 6.67);
+  EXPECT_LT(cycles_per_msg, 20 * 6.67 + 30);
+}
+
+TEST(Microbench, RelayRingScalesWithLoops) {
+  host::System a, b;
+  const auto one = core::measure_relay_ring(a, 2, 2, 256, 5);
+  const auto two = core::measure_relay_ring(b, 2, 2, 256, 10);
+  EXPECT_NEAR(static_cast<double>(two.cycles),
+              2.0 * static_cast<double>(one.cycles),
+              0.05 * static_cast<double>(two.cycles));
+}
+
+TEST(Microbench, RelayRingDataArrivesIntact) {
+  // The ring is a functional relay: after N loops the payload seeded in
+  // node 0 has propagated through everyone.
+  host::System sys;
+  (void)core::measure_relay_ring(sys, 2, 4, 64, 3);
+  SUCCEED();  // deadlock-free completion is the property under test
+}
+
+TEST(Microbench, OversizedMessageRejected) {
+  host::System sys;
+  EXPECT_THROW((void)measure_direct_write(sys, {0, 0}, {0, 1}, 16384, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)measure_dma(sys, {0, 0}, {0, 1}, 16384, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,320 @@
+// Unit tests for the discrete-event engine and coroutine task types.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sim/wait.hpp"
+
+namespace {
+
+using namespace epi::sim;
+
+Op<void> record_at(Engine& e, Cycles d, std::vector<Cycles>& log) {
+  co_await delay(e, d);
+  log.push_back(e.now());
+}
+
+TEST(Engine, StartsAtCycleZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, DelayAdvancesTime) {
+  Engine e;
+  std::vector<Cycles> log;
+  spawn(e, record_at(e, 42, log));
+  e.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 42u);
+  EXPECT_EQ(e.now(), 42u);
+}
+
+TEST(Engine, ZeroDelayDoesNotSuspend) {
+  Engine e;
+  std::vector<Cycles> log;
+  spawn(e, record_at(e, 0, log));
+  e.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<Cycles> log;
+  spawn(e, record_at(e, 30, log));
+  spawn(e, record_at(e, 10, log));
+  spawn(e, record_at(e, 20, log));
+  e.run();
+  EXPECT_EQ(log, (std::vector<Cycles>{10, 20, 30}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  auto mk = [&](int id) -> Op<void> {
+    co_await delay(e, 5);
+    order.push_back(id);
+  };
+  spawn(e, mk(1));
+  spawn(e, mk(2));
+  spawn(e, mk(3));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine e;
+  std::vector<Cycles> log;
+  spawn(e, record_at(e, 100, log));
+  spawn(e, record_at(e, 200, log));
+  e.run_until(150);
+  EXPECT_EQ(log, (std::vector<Cycles>{100}));
+  e.run_until(250);
+  EXPECT_EQ(log, (std::vector<Cycles>{100, 200}));
+}
+
+TEST(Engine, CallAtRunsCallback) {
+  Engine e;
+  Cycles fired = 0;
+  e.call_at(77, [&] { fired = e.now(); });
+  e.run();
+  EXPECT_EQ(fired, 77u);
+}
+
+TEST(Engine, SchedulingInThePastClampsToNow) {
+  Engine e;
+  std::vector<Cycles> log;
+  spawn(e, [](Engine& eng, std::vector<Cycles>& l) -> Op<void> {
+    co_await delay(eng, 50);
+    // call_at in the past must not rewind time
+    eng.call_at(10, [&] { l.push_back(eng.now()); });
+  }(e, log));
+  e.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 50u);
+}
+
+Op<int> add_later(Engine& e, int a, int b) {
+  co_await delay(e, 3);
+  co_return a + b;
+}
+
+Op<int> nested(Engine& e) {
+  const int x = co_await add_later(e, 1, 2);
+  const int y = co_await add_later(e, x, 10);
+  co_return y;
+}
+
+TEST(Op, ValueReturningOpsCompose) {
+  Engine e;
+  int result = 0;
+  spawn(e, [](Engine& eng, int& out) -> Op<void> {
+    out = co_await nested(eng);
+  }(e, result));
+  e.run();
+  EXPECT_EQ(result, 13);
+  EXPECT_EQ(e.now(), 6u);  // two 3-cycle ops in sequence
+}
+
+TEST(Op, NonDefaultConstructibleResult) {
+  struct Boxed {
+    explicit Boxed(int v) : v(v) {}
+    int v;
+  };
+  Engine e;
+  int got = 0;
+  auto make = [](Engine& eng) -> Op<Boxed> {
+    co_await delay(eng, 1);
+    co_return Boxed(99);
+  };
+  spawn(e, [&make](Engine& eng, int& out) -> Op<void> {
+    Boxed b = co_await make(eng);
+    out = b.v;
+  }(e, got));
+  e.run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Process, ReportsCompletion) {
+  Engine e;
+  auto p = spawn(e, [](Engine& eng) -> Op<void> { co_await delay(eng, 10); }(e));
+  EXPECT_FALSE(p.done());
+  e.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_FALSE(p.failed());
+}
+
+TEST(Process, PropagatesExceptions) {
+  Engine e;
+  auto p = spawn(e, [](Engine& eng) -> Op<void> {
+    co_await delay(eng, 1);
+    throw std::runtime_error("kernel fault");
+  }(e));
+  e.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_TRUE(p.failed());
+  EXPECT_THROW(p.rethrow_if_error(), std::runtime_error);
+}
+
+TEST(Process, ExceptionCrossesOpBoundary) {
+  Engine e;
+  auto inner = [](Engine& eng) -> Op<int> {
+    co_await delay(eng, 1);
+    throw std::logic_error("inner");
+  };
+  bool caught = false;
+  auto p = spawn(e, [&inner, &caught](Engine& eng) -> Op<void> {
+    try {
+      (void)co_await inner(eng);
+    } catch (const std::logic_error&) {
+      caught = true;
+    }
+  }(e));
+  e.run();
+  EXPECT_TRUE(caught);
+  EXPECT_FALSE(p.failed());
+}
+
+TEST(Process, StartDelayHonoured) {
+  Engine e;
+  Cycles started = ~Cycles{0};
+  spawn(e, [](Engine& eng, Cycles& s) -> Op<void> {
+    s = eng.now();
+    co_return;
+  }(e, started), 25);
+  e.run();
+  EXPECT_EQ(started, 25u);
+}
+
+TEST(WaitQueue, NotifyAllWakesEveryWaiter) {
+  Engine e;
+  WaitQueue q(e);
+  std::vector<int> woke;
+  auto waiter = [&](int id) -> Op<void> {
+    co_await q.wait();
+    woke.push_back(id);
+  };
+  spawn(e, waiter(1));
+  spawn(e, waiter(2));
+  spawn(e, [](Engine& eng, WaitQueue& wq) -> Op<void> {
+    co_await delay(eng, 5);
+    wq.notify_all();
+  }(e, q));
+  e.run();
+  EXPECT_EQ(woke, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), 5u);
+}
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  Engine e;
+  WaitQueue q(e);
+  std::vector<int> woke;
+  auto waiter = [&](int id) -> Op<void> {
+    co_await q.wait();
+    woke.push_back(id);
+  };
+  spawn(e, waiter(1));
+  spawn(e, waiter(2));
+  spawn(e, [](Engine& eng, WaitQueue& wq) -> Op<void> {
+    co_await delay(eng, 1);
+    wq.notify_one();
+    co_await delay(eng, 1);
+    wq.notify_one();
+  }(e, q));
+  e.run();
+  EXPECT_EQ(woke, (std::vector<int>{1, 2}));
+}
+
+TEST(Deadlock, DetectedWhenWaiterIsNeverNotified) {
+  Engine e;
+  WaitQueue q(e);
+  spawn(e, [](WaitQueue& wq) -> Op<void> { co_await wq.wait(); }(q));
+  EXPECT_THROW(e.run(), DeadlockError);
+}
+
+TEST(Deadlock, RunUntilDoesNotThrow) {
+  Engine e;
+  WaitQueue q(e);
+  spawn(e, [](WaitQueue& wq) -> Op<void> { co_await wq.wait(); }(q));
+  EXPECT_NO_THROW(e.run_until(1000));
+  EXPECT_EQ(e.live_processes(), 1u);
+}
+
+TEST(PollUntil, ResumesWhenPredicateHolds) {
+  Engine e;
+  bool flag = false;
+  Cycles resumed = 0;
+  spawn(e, [](Engine& eng, bool& f, Cycles& r) -> Op<void> {
+    co_await poll_until(eng, [&f] { return f; }, 10);
+    r = eng.now();
+  }(e, flag, resumed));
+  e.call_at(35, [&] { flag = true; });
+  e.run();
+  EXPECT_GE(resumed, 35u);
+  EXPECT_LE(resumed, 45u);  // within one poll interval
+}
+
+TEST(Join, WaitsForProcessCompletion) {
+  Engine e;
+  auto p = spawn(e, [](Engine& eng) -> Op<void> { co_await delay(eng, 100); }(e));
+  Cycles joined = 0;
+  spawn(e, [](Engine& eng, Process proc, Cycles& j) -> Op<void> {
+    co_await join(eng, proc, 8);
+    j = eng.now();
+  }(e, p, joined));
+  e.run();
+  EXPECT_GE(joined, 100u);
+}
+
+TEST(Determinism, SameSeedSameSchedule) {
+  auto run_once = [] {
+    Engine e;
+    Rng rng(12345);
+    std::vector<Cycles> log;
+    for (int i = 0; i < 50; ++i) {
+      spawn(e, record_at(e, rng.next_below(1000), log));
+    }
+    e.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng a2(1);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, FloatInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = r.next_float(-2.0f, 3.0f);
+    EXPECT_GE(f, -2.0f);
+    EXPECT_LT(f, 3.0f);
+  }
+}
+
+TEST(Engine, ManyProcessesDrainCompletely) {
+  Engine e;
+  int completed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    spawn(e, [](Engine& eng, int d, int& n) -> Op<void> {
+      co_await delay(eng, static_cast<Cycles>(d));
+      co_await delay(eng, 1);
+      ++n;
+    }(e, i % 97, completed));
+  }
+  e.run();
+  EXPECT_EQ(completed, 1000);
+  EXPECT_EQ(e.live_processes(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+// Tests for the stencil schedule model, kernels and multi-core halo
+// exchange. Multi-core results must be *bit-identical* to the host
+// reference (same arithmetic order per point).
+
+#include <gtest/gtest.h>
+
+#include "core/stencil.hpp"
+
+namespace {
+
+using namespace epi;
+using core::Codegen;
+using core::StencilConfig;
+using core::StencilSchedule;
+using core::StencilShape;
+
+// ---- schedule model ---------------------------------------------------------
+
+TEST(StencilSchedule, SingleCoreEfficiencyBand) {
+  // Figure 5: 0.97-1.14 GFLOPS (81-95% of 1.2 GF peak) across grid shapes.
+  const arch::TimingParams t{};
+  const std::pair<unsigned, unsigned> shapes[] = {{20, 20}, {40, 20}, {80, 20}, {20, 40},
+                                                  {20, 80}, {40, 40}, {60, 60}, {80, 80},
+                                                  {24, 24}, {60, 20}};
+  for (auto [r, c] : shapes) {
+    const auto cy = StencilSchedule::iteration_cycles(r, c, Codegen::TunedAsm);
+    const double gf = t.gflops(StencilSchedule::iteration_flops(r, c), cy);
+    EXPECT_GE(gf, 0.95) << r << "x" << c;
+    EXPECT_LE(gf, 1.15) << r << "x" << c;
+  }
+}
+
+TEST(StencilSchedule, PeakShapeMatchesPaper) {
+  // The paper's best single-core shape is tall-and-narrow (80x20 -> 1.14 GF).
+  const arch::TimingParams t{};
+  const auto cy = StencilSchedule::iteration_cycles(80, 20, Codegen::TunedAsm);
+  const double gf = t.gflops(StencilSchedule::iteration_flops(80, 20), cy);
+  EXPECT_NEAR(gf, 1.14, 0.02);
+}
+
+TEST(StencilSchedule, MoreRowsBeatsMoreCols) {
+  // Figure 5: grids with more rows than columns perform slightly better.
+  const auto tall = StencilSchedule::iteration_cycles(80, 20, Codegen::TunedAsm);
+  const auto wide = StencilSchedule::iteration_cycles(20, 80, Codegen::TunedAsm);
+  EXPECT_LT(tall, wide);
+}
+
+TEST(StencilSchedule, RaggedStripesCostMore) {
+  // 24 columns = one full stripe + a ragged 4-wide stripe: lower efficiency
+  // than the same area in full stripes.
+  const arch::TimingParams t{};
+  const double gf24 = t.gflops(StencilSchedule::iteration_flops(24, 24),
+                               StencilSchedule::iteration_cycles(24, 24, Codegen::TunedAsm));
+  const double gf20 = t.gflops(StencilSchedule::iteration_flops(24, 20),
+                               StencilSchedule::iteration_cycles(24, 20, Codegen::TunedAsm));
+  EXPECT_LT(gf24, gf20);
+}
+
+TEST(StencilSchedule, CCompilerFarBelowTuned) {
+  const auto tuned = StencilSchedule::iteration_cycles(80, 20, Codegen::TunedAsm);
+  const auto cc = StencilSchedule::iteration_cycles(80, 20, Codegen::CCompiler);
+  EXPECT_GT(cc, 3 * tuned);  // "a small fraction of peak"
+}
+
+TEST(StencilSchedule, ZeroSizedGridIsFree) {
+  EXPECT_EQ(StencilSchedule::iteration_cycles(0, 20, Codegen::TunedAsm), 0u);
+  EXPECT_EQ(StencilSchedule::iteration_cycles(20, 0, Codegen::TunedAsm), 0u);
+}
+
+TEST(StencilSchedule, MonotoneInArea) {
+  sim::Cycles prev = 0;
+  for (unsigned r = 10; r <= 80; r += 10) {
+    const auto cy = StencilSchedule::iteration_cycles(r, 20, Codegen::TunedAsm);
+    EXPECT_GT(cy, prev);
+    prev = cy;
+  }
+}
+
+// ---- single-core functional correctness ------------------------------------
+
+TEST(StencilKernel, SingleCoreMatchesReferenceExactly) {
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 20;
+  cfg.iters = 5;
+  auto ex = core::run_stencil_experiment(sys, 1, 1, cfg, 42, true);
+  EXPECT_TRUE(ex.verified);
+  EXPECT_EQ(ex.max_error, 0.0f);
+  EXPECT_GT(ex.result.gflops, 0.9);
+}
+
+TEST(StencilKernel, TileTooLargeThrows) {
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = 100;
+  cfg.cols = 100;
+  EXPECT_THROW((void)core::run_stencil_experiment(sys, 1, 1, cfg, 1, false),
+               std::invalid_argument);
+}
+
+TEST(StencilKernel, XShapedVariantMatchesReference) {
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.iters = 3;
+  cfg.shape = StencilShape::X5;
+  auto ex = core::run_stencil_experiment(sys, 1, 1, cfg, 7, true);
+  EXPECT_TRUE(ex.verified);
+}
+
+TEST(StencilKernel, NinePointVariantMatchesReference) {
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = 12;
+  cfg.cols = 12;
+  cfg.iters = 3;
+  cfg.shape = StencilShape::Nine;
+  cfg.weights9 = {0.05f, 0.1f, 0.05f, 0.1f, 0.4f, 0.1f, 0.05f, 0.1f, 0.05f};
+  auto ex = core::run_stencil_experiment(sys, 1, 1, cfg, 9, true);
+  EXPECT_TRUE(ex.verified);
+}
+
+TEST(StencilKernel, NinePointCostsMoreThanFivePoint) {
+  host::System sys;
+  StencilConfig five;
+  five.rows = five.cols = 20;
+  five.iters = 4;
+  StencilConfig nine = five;
+  nine.shape = StencilShape::Nine;
+  auto e5 = core::run_stencil_experiment(sys, 1, 1, five, 3, false);
+  host::System sys2;
+  auto e9 = core::run_stencil_experiment(sys2, 1, 1, nine, 3, false);
+  EXPECT_GT(e9.result.cycles, e5.result.cycles);
+}
+
+TEST(StencilKernel, MultiCoreNinePointExactWithCornerExchange) {
+  // Full-3x3 footprints need the diagonal corner cells; the kernel delivers
+  // them with a dedicated diagonal handshake.
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = cfg.cols = 10;
+  cfg.iters = 4;
+  cfg.shape = StencilShape::Nine;
+  cfg.weights9 = {0.05f, 0.1f, 0.05f, 0.1f, 0.4f, 0.1f, 0.05f, 0.1f, 0.05f};
+  auto ex = core::run_stencil_experiment(sys, 3, 3, cfg, 404, true);
+  EXPECT_EQ(ex.max_error, 0.0f);
+}
+
+TEST(StencilKernel, MultiCoreXShapedExactWithCornerExchange) {
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 12;
+  cfg.iters = 5;
+  cfg.shape = StencilShape::X5;
+  auto ex = core::run_stencil_experiment(sys, 2, 4, cfg, 505, true);
+  EXPECT_EQ(ex.max_error, 0.0f);
+}
+
+TEST(StencilKernel, DoubleBufferedCannotServeCorners) {
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = cfg.cols = 12;
+  cfg.shape = StencilShape::Nine;
+  cfg.double_buffer_boundaries = true;
+  EXPECT_THROW((void)core::run_stencil_experiment(sys, 2, 2, cfg, 1, false),
+               std::invalid_argument);
+}
+
+// ---- multi-core halo exchange: the central integration test ----------------
+
+struct GroupCase {
+  unsigned gr, gc, rows, cols, iters;
+};
+
+class StencilGroups : public ::testing::TestWithParam<GroupCase> {};
+
+TEST_P(StencilGroups, MatchesGlobalReferenceExactly) {
+  const auto p = GetParam();
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = p.rows;
+  cfg.cols = p.cols;
+  cfg.iters = p.iters;
+  auto ex = core::run_stencil_experiment(sys, p.gr, p.gc, cfg, 1000 + p.gr * 10 + p.gc, true);
+  EXPECT_EQ(ex.max_error, 0.0f)
+      << p.gr << "x" << p.gc << " group of " << p.rows << "x" << p.cols;
+  EXPECT_TRUE(ex.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, StencilGroups,
+    ::testing::Values(GroupCase{1, 2, 12, 12, 4}, GroupCase{2, 1, 12, 12, 4},
+                      GroupCase{2, 2, 12, 12, 4}, GroupCase{2, 4, 10, 8, 3},
+                      GroupCase{4, 2, 8, 10, 3}, GroupCase{4, 4, 12, 12, 3},
+                      GroupCase{3, 3, 7, 9, 3}, GroupCase{8, 8, 6, 6, 2},
+                      GroupCase{1, 8, 10, 10, 3}, GroupCase{8, 1, 10, 10, 3}));
+
+TEST(StencilKernel, DoubleBufferedBoundariesMatchReference) {
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = 12;
+  cfg.cols = 12;
+  cfg.iters = 5;
+  cfg.double_buffer_boundaries = true;
+  auto ex = core::run_stencil_experiment(sys, 2, 2, cfg, 77, true);
+  EXPECT_EQ(ex.max_error, 0.0f);
+}
+
+TEST(StencilKernel, DoubleBufferedBoundariesNotSlower) {
+  StencilConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 20;
+  cfg.iters = 10;
+  host::System a;
+  auto plain = core::run_stencil_experiment(a, 2, 2, cfg, 5, false);
+  cfg.double_buffer_boundaries = true;
+  host::System b;
+  auto dbuf = core::run_stencil_experiment(b, 2, 2, cfg, 5, false);
+  EXPECT_LE(dbuf.result.cycles, plain.result.cycles);
+}
+
+TEST(StencilKernel, CommunicationCostsThroughput) {
+  StencilConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 20;
+  cfg.iters = 10;
+  host::System a;
+  auto with_comm = core::run_stencil_experiment(a, 2, 2, cfg, 5, false);
+  cfg.communicate = false;
+  host::System b;
+  auto without = core::run_stencil_experiment(b, 2, 2, cfg, 5, false);
+  EXPECT_GT(with_comm.result.cycles, without.result.cycles);
+  EXPECT_LT(with_comm.result.compute_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(without.result.compute_fraction, 1.0);
+}
+
+TEST(StencilKernel, SixtyFourCoreEfficiencyMatchesFigure6) {
+  // Figure 6: with communication, the 80x20-per-core grid runs at ~82.8% of
+  // peak (63.6 of 76.8 GFLOPS). Accept 80-92%.
+  host::System sys;
+  StencilConfig cfg;
+  cfg.rows = 80;
+  cfg.cols = 20;
+  cfg.iters = 10;
+  auto ex = core::run_stencil_experiment(sys, 8, 8, cfg, 21, false);
+  const double frac = ex.result.gflops / 76.8;
+  EXPECT_GT(frac, 0.78);
+  EXPECT_LT(frac, 0.92);
+}
+
+TEST(StencilKernel, ResultGridSizeValidated) {
+  host::System sys;
+  StencilConfig cfg;
+  std::vector<float> wrong(10);
+  EXPECT_THROW((void)core::run_stencil(sys, 1, 1, cfg, wrong), std::invalid_argument);
+}
+
+}  // namespace
