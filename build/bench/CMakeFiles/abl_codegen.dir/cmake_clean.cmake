@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_codegen.dir/abl_codegen.cpp.o"
+  "CMakeFiles/abl_codegen.dir/abl_codegen.cpp.o.d"
+  "abl_codegen"
+  "abl_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_comm_schemes.dir/abl_comm_schemes.cpp.o"
+  "CMakeFiles/abl_comm_schemes.dir/abl_comm_schemes.cpp.o.d"
+  "abl_comm_schemes"
+  "abl_comm_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_comm_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_isa.dir/abl_isa.cpp.o"
+  "CMakeFiles/abl_isa.dir/abl_isa.cpp.o.d"
+  "abl_isa"
+  "abl_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scale4096.dir/abl_scale4096.cpp.o"
+  "CMakeFiles/abl_scale4096.dir/abl_scale4096.cpp.o.d"
+  "abl_scale4096"
+  "abl_scale4096.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scale4096.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_simperf.dir/abl_simperf.cpp.o"
+  "CMakeFiles/abl_simperf.dir/abl_simperf.cpp.o.d"
+  "abl_simperf"
+  "abl_simperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_simperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

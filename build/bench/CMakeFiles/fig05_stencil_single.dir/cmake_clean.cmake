@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_stencil_single.dir/fig05_stencil_single.cpp.o"
+  "CMakeFiles/fig05_stencil_single.dir/fig05_stencil_single.cpp.o.d"
+  "fig05_stencil_single"
+  "fig05_stencil_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_stencil_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_stencil_single.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_stencil_64core.dir/fig06_stencil_64core.cpp.o"
+  "CMakeFiles/fig06_stencil_64core.dir/fig06_stencil_64core.cpp.o.d"
+  "fig06_stencil_64core"
+  "fig06_stencil_64core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_stencil_64core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

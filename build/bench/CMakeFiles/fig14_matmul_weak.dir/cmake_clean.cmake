@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_matmul_weak.dir/fig14_matmul_weak.cpp.o"
+  "CMakeFiles/fig14_matmul_weak.dir/fig14_matmul_weak.cpp.o.d"
+  "fig14_matmul_weak"
+  "fig14_matmul_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_matmul_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

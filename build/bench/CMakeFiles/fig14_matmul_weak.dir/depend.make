@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_matmul_weak.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_matmul_strong.dir/fig15_matmul_strong.cpp.o"
+  "CMakeFiles/fig15_matmul_strong.dir/fig15_matmul_strong.cpp.o.d"
+  "fig15_matmul_strong"
+  "fig15_matmul_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_matmul_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_distance.dir/tab01_distance.cpp.o"
+  "CMakeFiles/tab01_distance.dir/tab01_distance.cpp.o.d"
+  "tab01_distance"
+  "tab01_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_elink4.dir/tab02_elink4.cpp.o"
+  "CMakeFiles/tab02_elink4.dir/tab02_elink4.cpp.o.d"
+  "tab02_elink4"
+  "tab02_elink4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_elink4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_elink64.dir/tab03_elink64.cpp.o"
+  "CMakeFiles/tab03_elink64.dir/tab03_elink64.cpp.o.d"
+  "tab03_elink64"
+  "tab03_elink64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_elink64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_matmul_single.dir/tab04_matmul_single.cpp.o"
+  "CMakeFiles/tab04_matmul_single.dir/tab04_matmul_single.cpp.o.d"
+  "tab04_matmul_single"
+  "tab04_matmul_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_matmul_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_matmul_onchip.dir/tab05_matmul_onchip.cpp.o"
+  "CMakeFiles/tab05_matmul_onchip.dir/tab05_matmul_onchip.cpp.o.d"
+  "tab05_matmul_onchip"
+  "tab05_matmul_onchip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_matmul_onchip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

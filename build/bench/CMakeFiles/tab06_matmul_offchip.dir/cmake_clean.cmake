@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_matmul_offchip.dir/tab06_matmul_offchip.cpp.o"
+  "CMakeFiles/tab06_matmul_offchip.dir/tab06_matmul_offchip.cpp.o.d"
+  "tab06_matmul_offchip"
+  "tab06_matmul_offchip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_matmul_offchip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

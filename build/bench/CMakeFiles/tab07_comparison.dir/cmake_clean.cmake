@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_comparison.dir/tab07_comparison.cpp.o"
+  "CMakeFiles/tab07_comparison.dir/tab07_comparison.cpp.o.d"
+  "tab07_comparison"
+  "tab07_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

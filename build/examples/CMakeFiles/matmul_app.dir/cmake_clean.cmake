@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_app.dir/matmul_app.cpp.o"
+  "CMakeFiles/matmul_app.dir/matmul_app.cpp.o.d"
+  "matmul_app"
+  "matmul_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

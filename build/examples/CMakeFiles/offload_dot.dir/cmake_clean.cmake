@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_dot.dir/offload_dot.cpp.o"
+  "CMakeFiles/offload_dot.dir/offload_dot.cpp.o.d"
+  "offload_dot"
+  "offload_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_large_grid.dir/stream_large_grid.cpp.o"
+  "CMakeFiles/stream_large_grid.dir/stream_large_grid.cpp.o.d"
+  "stream_large_grid"
+  "stream_large_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_large_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/matmul_kernels.cpp" "src/CMakeFiles/epi_core.dir/core/matmul_kernels.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/core/matmul_kernels.cpp.o.d"
+  "/root/repo/src/core/matmul_schedule.cpp" "src/CMakeFiles/epi_core.dir/core/matmul_schedule.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/core/matmul_schedule.cpp.o.d"
+  "/root/repo/src/core/microbench.cpp" "src/CMakeFiles/epi_core.dir/core/microbench.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/core/microbench.cpp.o.d"
+  "/root/repo/src/core/stencil_kernels.cpp" "src/CMakeFiles/epi_core.dir/core/stencil_kernels.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/core/stencil_kernels.cpp.o.d"
+  "/root/repo/src/core/stencil_pipeline.cpp" "src/CMakeFiles/epi_core.dir/core/stencil_pipeline.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/core/stencil_pipeline.cpp.o.d"
+  "/root/repo/src/core/stencil_schedule.cpp" "src/CMakeFiles/epi_core.dir/core/stencil_schedule.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/core/stencil_schedule.cpp.o.d"
+  "/root/repo/src/core/summa.cpp" "src/CMakeFiles/epi_core.dir/core/summa.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/core/summa.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/epi_core.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/interpreter.cpp" "src/CMakeFiles/epi_core.dir/isa/interpreter.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/isa/interpreter.cpp.o.d"
+  "/root/repo/src/isa/kernels.cpp" "src/CMakeFiles/epi_core.dir/isa/kernels.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/isa/kernels.cpp.o.d"
+  "/root/repo/src/offload/queue.cpp" "src/CMakeFiles/epi_core.dir/offload/queue.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/offload/queue.cpp.o.d"
+  "/root/repo/src/util/reference.cpp" "src/CMakeFiles/epi_core.dir/util/reference.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/util/reference.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/epi_core.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/epi_core.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_core.dir/core/matmul_kernels.cpp.o"
+  "CMakeFiles/epi_core.dir/core/matmul_kernels.cpp.o.d"
+  "CMakeFiles/epi_core.dir/core/matmul_schedule.cpp.o"
+  "CMakeFiles/epi_core.dir/core/matmul_schedule.cpp.o.d"
+  "CMakeFiles/epi_core.dir/core/microbench.cpp.o"
+  "CMakeFiles/epi_core.dir/core/microbench.cpp.o.d"
+  "CMakeFiles/epi_core.dir/core/stencil_kernels.cpp.o"
+  "CMakeFiles/epi_core.dir/core/stencil_kernels.cpp.o.d"
+  "CMakeFiles/epi_core.dir/core/stencil_pipeline.cpp.o"
+  "CMakeFiles/epi_core.dir/core/stencil_pipeline.cpp.o.d"
+  "CMakeFiles/epi_core.dir/core/stencil_schedule.cpp.o"
+  "CMakeFiles/epi_core.dir/core/stencil_schedule.cpp.o.d"
+  "CMakeFiles/epi_core.dir/core/summa.cpp.o"
+  "CMakeFiles/epi_core.dir/core/summa.cpp.o.d"
+  "CMakeFiles/epi_core.dir/isa/assembler.cpp.o"
+  "CMakeFiles/epi_core.dir/isa/assembler.cpp.o.d"
+  "CMakeFiles/epi_core.dir/isa/interpreter.cpp.o"
+  "CMakeFiles/epi_core.dir/isa/interpreter.cpp.o.d"
+  "CMakeFiles/epi_core.dir/isa/kernels.cpp.o"
+  "CMakeFiles/epi_core.dir/isa/kernels.cpp.o.d"
+  "CMakeFiles/epi_core.dir/offload/queue.cpp.o"
+  "CMakeFiles/epi_core.dir/offload/queue.cpp.o.d"
+  "CMakeFiles/epi_core.dir/util/reference.cpp.o"
+  "CMakeFiles/epi_core.dir/util/reference.cpp.o.d"
+  "CMakeFiles/epi_core.dir/util/table.cpp.o"
+  "CMakeFiles/epi_core.dir/util/table.cpp.o.d"
+  "libepi_core.a"
+  "libepi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

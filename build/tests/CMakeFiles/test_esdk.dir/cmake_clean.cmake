@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esdk.dir/esdk_test.cpp.o"
+  "CMakeFiles/test_esdk.dir/esdk_test.cpp.o.d"
+  "test_esdk"
+  "test_esdk.pdb"
+  "test_esdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

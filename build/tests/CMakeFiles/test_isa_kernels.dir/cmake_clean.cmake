@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_kernels.dir/isa_kernels_test.cpp.o"
+  "CMakeFiles/test_isa_kernels.dir/isa_kernels_test.cpp.o.d"
+  "test_isa_kernels"
+  "test_isa_kernels.pdb"
+  "test_isa_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
