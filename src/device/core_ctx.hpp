@@ -264,7 +264,9 @@ public:
     for (;;) {
       co_await compute(cost);
       // DES commit points are atomic: read-modify-write cannot interleave.
-      if (m_->mem().read_value<std::uint32_t>(a, coord_) == 0) {
+      // The TESTSET probe is an acquire, not a data read: on success the
+      // sanitizer must treat prior remote writes as ordered.
+      if (m_->mem().read_u32_acquire(a, coord_) == 0) {
         m_->mem().write_value<std::uint32_t>(a, lock_token(), coord_);
         co_return;
       }

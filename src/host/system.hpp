@@ -81,6 +81,10 @@ public:
       }
     }
     for (const auto& p : procs_) p.rethrow_if_error();
+    // Waiting for kernel completion is the host's synchronisation point:
+    // result readback afterwards is ordered, not a data race. The host
+    // issues memory traffic as (0,0).
+    if (auto* h = m_->mem().hook()) h->on_sync({0, 0}, m_->engine().now());
   }
 
   /// start() + wait(), returning elapsed device cycles.

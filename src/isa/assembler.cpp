@@ -215,6 +215,7 @@ Program assemble(std::string_view text) {
     }
     prog.code.push_back(ins);
     prog.source.emplace_back(line);
+    prog.lines.push_back(line_no);
   }
 
   for (const auto& f : fixups) {

@@ -67,13 +67,19 @@ struct Instruction {
   std::int32_t imm = 0;      // immediate / displacement / branch target
 };
 
-/// An assembled program: instructions plus the source line of each (for
-/// diagnostics).
+/// An assembled program: instructions plus, for diagnostics, the source
+/// text and 1-based source line number of each (both empty/0 for programs
+/// built by hand rather than through the assembler).
 struct Program {
   std::vector<Instruction> code;
   std::vector<std::string> source;
+  std::vector<unsigned> lines;
 
   [[nodiscard]] std::size_t size() const noexcept { return code.size(); }
+  /// Source line of instruction `i`, or 0 when not tracked.
+  [[nodiscard]] unsigned line_of(std::size_t i) const noexcept {
+    return i < lines.size() ? lines[i] : 0;
+  }
 };
 
 /// The 64-entry register file. Values are raw 32-bit words; helpers view

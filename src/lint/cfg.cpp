@@ -1,0 +1,123 @@
+#include "lint/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace epi::lint {
+
+using isa::Instruction;
+using isa::Opcode;
+
+Cfg Cfg::build(const isa::Program& prog) {
+  Cfg cfg;
+  const std::size_t n = prog.size();
+  if (n == 0) return cfg;
+
+  // ---- leaders ----------------------------------------------------------
+  std::set<std::size_t> leaders{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instruction& ins = prog.code[i];
+    if (isa::is_branch(ins.op)) {
+      if (ins.imm >= 0 && static_cast<std::size_t>(ins.imm) < n) {
+        leaders.insert(static_cast<std::size_t>(ins.imm));
+      }
+      if (i + 1 < n) leaders.insert(i + 1);
+    } else if (ins.op == Opcode::Halt && i + 1 < n) {
+      leaders.insert(i + 1);
+    }
+  }
+
+  // ---- block ranges ------------------------------------------------------
+  cfg.block_of.assign(n, 0);
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    const std::size_t first = *it;
+    const auto next = std::next(it);
+    const std::size_t last = next == leaders.end() ? n : *next;
+    BasicBlock b;
+    b.first = first;
+    b.last = last;
+    for (std::size_t i = first; i < last; ++i) cfg.block_of[i] = cfg.blocks.size();
+    cfg.blocks.push_back(std::move(b));
+  }
+
+  // ---- edges -------------------------------------------------------------
+  for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    BasicBlock& b = cfg.blocks[bi];
+    const Instruction& tail = prog.code[b.last - 1];
+    const auto add_succ = [&](std::size_t target_instr) {
+      b.succ.push_back(cfg.block_of[target_instr]);
+    };
+    if (tail.op == Opcode::Halt) {
+      b.ends_in_halt = true;
+    } else if (isa::is_branch(tail.op)) {
+      if (tail.imm >= 0 && static_cast<std::size_t>(tail.imm) < n) {
+        add_succ(static_cast<std::size_t>(tail.imm));
+      } else if (static_cast<std::size_t>(tail.imm) == n && tail.imm >= 0) {
+        b.falls_off_end = true;  // branch to one-past-the-end label
+      } else {
+        b.bad_target = true;
+      }
+      if (tail.op != Opcode::B) {  // conditional: fall-through edge too
+        if (b.last < n) {
+          add_succ(b.last);
+        } else {
+          b.falls_off_end = true;
+        }
+      }
+    } else {
+      if (b.last < n) {
+        add_succ(b.last);
+      } else {
+        b.falls_off_end = true;
+      }
+    }
+    // Dedupe (bne target can equal the fall-through).
+    std::sort(b.succ.begin(), b.succ.end());
+    b.succ.erase(std::unique(b.succ.begin(), b.succ.end()), b.succ.end());
+  }
+  for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    for (std::size_t s : cfg.blocks[bi].succ) cfg.blocks[s].pred.push_back(bi);
+  }
+
+  // ---- reachability from the entry block ---------------------------------
+  cfg.reachable.assign(cfg.blocks.size(), false);
+  std::vector<std::size_t> work{0};
+  cfg.reachable[0] = true;
+  while (!work.empty()) {
+    const std::size_t bi = work.back();
+    work.pop_back();
+    for (std::size_t s : cfg.blocks[bi].succ) {
+      if (!cfg.reachable[s]) {
+        cfg.reachable[s] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  return cfg;
+}
+
+std::vector<bool> Cfg::can_terminate() const {
+  std::vector<bool> can(blocks.size(), false);
+  std::vector<std::size_t> work;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    // A halt, a fall-off-the-end, and (for the purposes of this query) a
+    // malformed branch target all leave the program.
+    if (blocks[bi].ends_in_halt || blocks[bi].falls_off_end || blocks[bi].bad_target) {
+      can[bi] = true;
+      work.push_back(bi);
+    }
+  }
+  while (!work.empty()) {
+    const std::size_t bi = work.back();
+    work.pop_back();
+    for (std::size_t p : blocks[bi].pred) {
+      if (!can[p]) {
+        can[p] = true;
+        work.push_back(p);
+      }
+    }
+  }
+  return can;
+}
+
+}  // namespace epi::lint

@@ -1,0 +1,41 @@
+#pragma once
+// Basic-block control-flow graph over an assembled epi::isa::Program.
+//
+// Blocks are maximal straight-line instruction runs: a leader starts at
+// instruction 0, at every branch target and at every instruction following
+// a branch or halt. Branch targets are the *resolved instruction indices*
+// the assembler leaves in Instruction::imm, so the CFG is exact -- there is
+// no indirect control flow in the ISA subset.
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace epi::lint {
+
+struct BasicBlock {
+  std::size_t first = 0;            // first instruction index
+  std::size_t last = 0;             // one past the last instruction
+  std::vector<std::size_t> succ;    // successor block indices
+  std::vector<std::size_t> pred;    // predecessor block indices
+  bool falls_off_end = false;       // control can run past the last instruction
+  bool bad_target = false;          // branch target outside [0, program size)
+  bool ends_in_halt = false;
+
+  [[nodiscard]] std::size_t size() const noexcept { return last - first; }
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;     // ordered by first instruction
+  std::vector<std::size_t> block_of;  // instruction index -> block index
+  std::vector<bool> reachable;        // per block, from block 0
+
+  [[nodiscard]] static Cfg build(const isa::Program& prog);
+
+  /// Blocks from which execution can terminate (reach a halt or run off the
+  /// program end). Complement = inescapable cycles.
+  [[nodiscard]] std::vector<bool> can_terminate() const;
+};
+
+}  // namespace epi::lint

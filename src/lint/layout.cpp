@@ -1,0 +1,67 @@
+#include "lint/layout.hpp"
+
+#include <cstdio>
+
+namespace epi::lint {
+
+namespace {
+
+std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%X", v);
+  return buf;
+}
+
+std::string describe(const Region& r) {
+  return std::string(region_kind_name(r.kind)) + " region '" + r.name + "' [" +
+         hex(r.offset) + ", " + hex(r.end()) + ")";
+}
+
+}  // namespace
+
+std::vector<Finding> check_layout(const ScratchpadLayout& layout) {
+  constexpr std::uint32_t kBudget = arch::AddressMap::kLocalMemBytes;
+  constexpr std::uint32_t kBank = arch::AddressMap::kBankBytes;
+  std::vector<Finding> out;
+
+  for (const auto& r : layout.regions) {
+    if (r.size == 0) {
+      out.push_back({"layout-empty", Severity::Warning, Finding::kNoInstr, 0,
+                     describe(r) + " is empty"});
+      continue;
+    }
+    // end() is computed in 32-bit; detect wrap as well as plain overflow.
+    if (r.end() > kBudget || r.end() < r.offset) {
+      out.push_back({"layout-overflow", Severity::Error, Finding::kNoInstr, 0,
+                     describe(r) + " exceeds the 32 KB scratchpad budget"});
+    }
+  }
+
+  for (std::size_t i = 0; i < layout.regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < layout.regions.size(); ++j) {
+      const Region& a = layout.regions[i];
+      const Region& b = layout.regions[j];
+      if (a.size == 0 || b.size == 0) continue;
+      if (a.overlaps(b)) {
+        out.push_back({"layout-overlap", Severity::Error, Finding::kNoInstr, 0,
+                       describe(a) + " overlaps " + describe(b)});
+      } else if (a.end() <= kBudget && b.end() <= kBudget) {
+        // Paper IV-B: keep code apart from data/DMA traffic, bank-wise.
+        const bool code_vs_traffic =
+            (a.kind == RegionKind::Code) != (b.kind == RegionKind::Code);
+        if (code_vs_traffic) {
+          const unsigned a_lo = a.offset / kBank, a_hi = (a.end() - 1) / kBank;
+          const unsigned b_lo = b.offset / kBank, b_hi = (b.end() - 1) / kBank;
+          if (a_lo <= b_hi && b_lo <= a_hi) {
+            out.push_back({"layout-bank-sharing", Severity::Note, Finding::kNoInstr, 0,
+                           describe(a) + " shares an 8 KB bank with " + describe(b) +
+                               "; the paper keeps code and data/DMA banks separate"});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace epi::lint

@@ -1,0 +1,61 @@
+#pragma once
+// Declared scratchpad placements and their checker (paper section IV-B).
+//
+// The paper's placement discipline: 32 KB of local memory in four 8 KB
+// banks, with code, stack and data/DMA buffers kept in *separate* banks so
+// instruction fetch, load/store and DMA traffic do not serialise on one
+// bank port. A ScratchpadLayout declares where a kernel puts each region;
+// check_layout reports overlaps and 32 KB-budget overflow, and notes when
+// code shares a bank with data or DMA buffers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.hpp"
+#include "lint/finding.hpp"
+
+namespace epi::lint {
+
+enum class RegionKind { Code, Data, Stack, Dma };
+
+[[nodiscard]] constexpr const char* region_kind_name(RegionKind k) noexcept {
+  switch (k) {
+    case RegionKind::Code: return "code";
+    case RegionKind::Data: return "data";
+    case RegionKind::Stack: return "stack";
+    case RegionKind::Dma: return "dma";
+  }
+  return "?";
+}
+
+struct Region {
+  std::string name;
+  RegionKind kind = RegionKind::Data;
+  std::uint32_t offset = 0;  // byte offset within the 32 KB scratchpad
+  std::uint32_t size = 0;
+
+  [[nodiscard]] std::uint32_t end() const noexcept { return offset + size; }
+  [[nodiscard]] bool overlaps(const Region& o) const noexcept {
+    return offset < o.end() && o.offset < end();
+  }
+};
+
+struct ScratchpadLayout {
+  std::vector<Region> regions;
+
+  ScratchpadLayout& add(std::string name, RegionKind kind, std::uint32_t offset,
+                        std::uint32_t size) {
+    regions.push_back(Region{std::move(name), kind, offset, size});
+    return *this;
+  }
+};
+
+/// Check a declared placement against the 32 KB / 4-bank budget.
+/// Findings carry no instruction index (they are about the layout, not a
+/// program point). Passes emitted: "layout-overlap" (error),
+/// "layout-overflow" (error), "layout-empty" (warning),
+/// "layout-bank-sharing" (note).
+[[nodiscard]] std::vector<Finding> check_layout(const ScratchpadLayout& layout);
+
+}  // namespace epi::lint

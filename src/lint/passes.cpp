@@ -1,0 +1,660 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bitset>
+#include <cstdio>
+#include <string>
+
+#include "lint/cfg.hpp"
+
+namespace epi::lint {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr unsigned kRegs = isa::RegFile::kCount;
+constexpr unsigned kZ = kRegs;  // pseudo-register index for the Z flag
+using Bits = std::bitset<kRegs + 1>;
+
+std::string reg(unsigned r) { return "r" + std::to_string(r); }
+
+std::string hex(std::int64_t v) {
+  char buf[24];
+  if (v < 0) {
+    std::snprintf(buf, sizeof buf, "-0x%llX", static_cast<unsigned long long>(-v));
+  } else {
+    std::snprintf(buf, sizeof buf, "0x%llX", static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+
+/// Registers (and kZ) an instruction reads. Register pairs past r63 are
+/// clamped; the reg-pair pass reports those separately.
+template <typename Fn>
+void for_each_use(const Instruction& ins, Fn fn) {
+  switch (ins.op) {
+    case Opcode::Fmadd:
+      fn(ins.rd);  // the accumulator is also a source
+      [[fallthrough]];
+    case Opcode::Fmul:
+    case Opcode::Fadd:
+    case Opcode::Fsub:
+      fn(ins.rn);
+      fn(ins.rm);
+      break;
+    case Opcode::MovImm:
+      break;
+    case Opcode::MovReg:
+      fn(ins.rn);
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+      fn(ins.rn);
+      if (!ins.has_imm) fn(ins.rm);
+      break;
+    case Opcode::Ldr:
+    case Opcode::Ldrd:
+      fn(ins.rn);
+      break;
+    case Opcode::Str:
+      fn(ins.rn);
+      fn(ins.rd);
+      break;
+    case Opcode::Strd:
+      fn(ins.rn);
+      fn(ins.rd);
+      if (ins.rd + 1u < kRegs) fn(ins.rd + 1u);
+      break;
+    case Opcode::Bne:
+    case Opcode::Beq:
+      fn(kZ);
+      break;
+    case Opcode::B:
+    case Opcode::Halt:
+      break;
+  }
+}
+
+/// Registers (and kZ) an instruction writes.
+template <typename Fn>
+void for_each_def(const Instruction& ins, Fn fn) {
+  switch (ins.op) {
+    case Opcode::Fmadd:
+    case Opcode::Fmul:
+    case Opcode::Fadd:
+    case Opcode::Fsub:
+    case Opcode::MovImm:
+    case Opcode::MovReg:
+      fn(ins.rd);
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+      fn(ins.rd);
+      fn(kZ);
+      break;
+    case Opcode::Ldr:
+      fn(ins.rd);
+      break;
+    case Opcode::Ldrd:
+      fn(ins.rd);
+      if (ins.rd + 1u < kRegs) fn(ins.rd + 1u);
+      break;
+    default:
+      break;  // Str/Strd/B/Bne/Beq/Halt write no register result
+  }
+  if ((isa::is_load(ins.op) || isa::is_store(ins.op)) && ins.postmodify) {
+    fn(ins.rn);
+  }
+}
+
+/// Flat constant lattice for the memory-shape pass: unknown or one int.
+struct AV {
+  bool known = false;
+  std::int64_t v = 0;
+  friend bool operator==(const AV&, const AV&) = default;
+};
+using State = std::array<AV, kRegs>;
+
+AV merge_av(AV a, AV b) {
+  if (a.known && b.known && a.v == b.v) return a;
+  return AV{};
+}
+
+State merge_state(const State& a, const State& b) {
+  State s;
+  for (unsigned r = 0; r < kRegs; ++r) s[r] = merge_av(a[r], b[r]);
+  return s;
+}
+
+void xfer_const(const Instruction& ins, State& st) {
+  const auto bump = [&](unsigned r, std::int64_t d) {
+    if (st[r].known) st[r].v += d;
+  };
+  switch (ins.op) {
+    case Opcode::MovImm:
+      st[ins.rd] = AV{true, ins.imm};
+      break;
+    case Opcode::MovReg:
+      st[ins.rd] = st[ins.rn];
+      break;
+    case Opcode::Add:
+    case Opcode::Sub: {
+      const AV b = ins.has_imm ? AV{true, ins.imm} : st[ins.rm];
+      if (st[ins.rn].known && b.known) {
+        st[ins.rd] = AV{true, ins.op == Opcode::Add ? st[ins.rn].v + b.v
+                                                    : st[ins.rn].v - b.v};
+      } else {
+        st[ins.rd] = AV{};
+      }
+      break;
+    }
+    case Opcode::Fmadd:
+    case Opcode::Fmul:
+    case Opcode::Fadd:
+    case Opcode::Fsub:
+      st[ins.rd] = AV{};  // float results are not tracked
+      break;
+    case Opcode::Ldr:
+    case Opcode::Ldrd:
+      st[ins.rd] = AV{};
+      if (ins.op == Opcode::Ldrd && ins.rd + 1u < kRegs) st[ins.rd + 1u] = AV{};
+      if (ins.postmodify) bump(ins.rn, ins.imm);
+      break;
+    case Opcode::Str:
+    case Opcode::Strd:
+      if (ins.postmodify) bump(ins.rn, ins.imm);
+      break;
+    case Opcode::B:
+    case Opcode::Bne:
+    case Opcode::Beq:
+    case Opcode::Halt:
+      break;
+  }
+}
+
+class Linter {
+public:
+  Linter(const isa::Program& prog, const LintOptions& opts)
+      : prog_(prog), opts_(opts), cfg_(Cfg::build(prog)) {
+    if (opts_.code_region) code_regions_.push_back(*opts_.code_region);
+    if (opts_.layout) {
+      for (const auto& r : opts_.layout->regions) {
+        if (r.kind == RegionKind::Code) code_regions_.push_back(r);
+      }
+    }
+  }
+
+  std::vector<Finding> run() {
+    if (prog_.size() == 0) {
+      report("termination", Severity::Error, Finding::kNoInstr,
+             "empty program: execution falls off the end immediately");
+    } else {
+      check_operands();
+      check_reachability();
+      if (registers_in_range_) {
+        // The dataflow passes index per-register state; garbage register
+        // numbers were already reported and would only poison them.
+        check_def_use();
+        check_dead_stores();
+        check_memory_shape();
+      }
+    }
+    if (opts_.layout) {
+      auto lf = check_layout(*opts_.layout);
+      findings_.insert(findings_.end(), lf.begin(), lf.end());
+    }
+    std::stable_sort(findings_.begin(), findings_.end(),
+                     [](const Finding& a, const Finding& b) { return a.instr < b.instr; });
+    return std::move(findings_);
+  }
+
+private:
+  void report(const char* pass, Severity sev, std::size_t instr, std::string msg) {
+    Finding f;
+    f.pass = pass;
+    f.severity = sev;
+    f.instr = instr;
+    f.line = instr == Finding::kNoInstr ? 0 : prog_.line_of(instr);
+    f.message = std::move(msg);
+    findings_.push_back(std::move(f));
+  }
+
+  // ---- operand checks: register ranges and doubleword pairs --------------
+  void check_operands() {
+    for (std::size_t i = 0; i < prog_.size(); ++i) {
+      const Instruction& ins = prog_.code[i];
+      bool oob = false;
+      const auto chk = [&](unsigned r) { if (r >= kRegs) oob = true; };
+      // Raw fields: hand-built programs can carry any uint8. Checked per
+      // opcode (not via the use/def walkers, which also yield the Z flag's
+      // pseudo-index).
+      switch (ins.op) {
+        case Opcode::Fmadd:
+        case Opcode::Fmul:
+        case Opcode::Fadd:
+        case Opcode::Fsub:
+          chk(ins.rd); chk(ins.rn); chk(ins.rm);
+          break;
+        case Opcode::MovImm:
+          chk(ins.rd);
+          break;
+        case Opcode::MovReg:
+          chk(ins.rd); chk(ins.rn);
+          break;
+        case Opcode::Add:
+        case Opcode::Sub:
+          chk(ins.rd); chk(ins.rn);
+          if (!ins.has_imm) chk(ins.rm);
+          break;
+        case Opcode::Ldr:
+        case Opcode::Ldrd:
+        case Opcode::Str:
+        case Opcode::Strd:
+          chk(ins.rd); chk(ins.rn);
+          break;
+        case Opcode::B:
+        case Opcode::Bne:
+        case Opcode::Beq:
+        case Opcode::Halt:
+          break;
+      }
+      if (oob) {
+        registers_in_range_ = false;
+        report("reg-range", Severity::Error, i,
+               "register operand outside the 64-entry register file");
+      }
+      if (ins.op == Opcode::Ldrd || ins.op == Opcode::Strd) {
+        const char* mn = ins.op == Opcode::Ldrd ? "ldrd" : "strd";
+        if (ins.rd % 2 != 0) {
+          report("reg-pair", Severity::Error, i,
+                 std::string(mn) + " needs an even-aligned register pair, got " +
+                     reg(ins.rd) + ":" + reg(ins.rd + 1u));
+        }
+      }
+    }
+  }
+
+  // ---- reachability and termination ---------------------------------------
+  void check_reachability() {
+    for (std::size_t bi = 0; bi < cfg_.blocks.size(); ++bi) {
+      const BasicBlock& b = cfg_.blocks[bi];
+      if (!cfg_.reachable[bi]) {
+        report("unreachable", Severity::Warning, b.first,
+               "unreachable code (no path from entry)");
+        continue;
+      }
+      if (b.bad_target) {
+        report("termination", Severity::Error, b.last - 1,
+               "branch target outside the program");
+      }
+      if (b.falls_off_end) {
+        report("termination", Severity::Error, b.last - 1,
+               "control reaches the end of the program without halt");
+      }
+    }
+    const auto can = cfg_.can_terminate();
+    std::size_t first_stuck = Finding::kNoInstr;
+    for (std::size_t bi = 0; bi < cfg_.blocks.size(); ++bi) {
+      if (cfg_.reachable[bi] && !can[bi]) {
+        first_stuck = std::min(first_stuck, cfg_.blocks[bi].first);
+      }
+    }
+    if (first_stuck != Finding::kNoInstr) {
+      report("termination", Severity::Error, first_stuck,
+             "trivially infinite loop: no path from here reaches halt");
+    }
+  }
+
+  // ---- use-before-def: forward maybe-undefined analysis -------------------
+  void check_def_use() {
+    const std::size_t nb = cfg_.blocks.size();
+    std::vector<Bits> in(nb);
+    in[0].set();  // everything (GPRs and Z) is undefined at entry
+    const auto transfer = [&](std::size_t bi) {
+      Bits s = in[bi];
+      const BasicBlock& b = cfg_.blocks[bi];
+      for (std::size_t i = b.first; i < b.last; ++i) {
+        for_each_def(prog_.code[i], [&](unsigned r) { s.reset(r); });
+      }
+      return s;
+    };
+    std::vector<std::size_t> work{0};
+    while (!work.empty()) {
+      const std::size_t bi = work.back();
+      work.pop_back();
+      const Bits out = transfer(bi);
+      for (std::size_t s : cfg_.blocks[bi].succ) {
+        const Bits ni = in[s] | out;
+        if (ni != in[s]) {
+          in[s] = ni;
+          work.push_back(s);
+        }
+      }
+    }
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      if (!cfg_.reachable[bi]) continue;
+      Bits s = in[bi];
+      const BasicBlock& b = cfg_.blocks[bi];
+      for (std::size_t i = b.first; i < b.last; ++i) {
+        for_each_use(prog_.code[i], [&](unsigned r) {
+          if (r < kRegs + 1 && s.test(r)) {
+            if (r == kZ) {
+              report("flag-undef", Severity::Warning, i,
+                     "conditional branch before any add/sub set the Z flag");
+            } else {
+              report("use-before-def", Severity::Error, i,
+                     "use of " + reg(r) + " before any definition reaches it");
+            }
+            s.reset(r);  // one finding per register per program point chain
+          }
+        });
+        for_each_def(prog_.code[i], [&](unsigned r) { s.reset(r); });
+      }
+    }
+  }
+
+  // ---- dead stores to registers: backward may-liveness --------------------
+  static bool reportable_dead_def(Opcode op) {
+    // Loads are exempt: dead trailing loads are the software-pipelining
+    // prefetch idiom of the paper's kernels. Add/sub are exempt: they also
+    // produce the Z flag.
+    switch (op) {
+      case Opcode::MovImm:
+      case Opcode::MovReg:
+      case Opcode::Fmadd:
+      case Opcode::Fmul:
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void check_dead_stores() {
+    const std::size_t nb = cfg_.blocks.size();
+    std::vector<Bits> live_in(nb), live_out(nb);
+    const auto transfer = [&](std::size_t bi) {
+      Bits s = live_out[bi];
+      const BasicBlock& b = cfg_.blocks[bi];
+      for (std::size_t i = b.last; i-- > b.first;) {
+        for_each_def(prog_.code[i], [&](unsigned r) { s.reset(r); });
+        for_each_use(prog_.code[i], [&](unsigned r) { s.set(r); });
+      }
+      return s;
+    };
+    std::vector<std::size_t> work;
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      if (cfg_.reachable[bi]) work.push_back(bi);
+    }
+    while (!work.empty()) {
+      const std::size_t bi = work.back();
+      work.pop_back();
+      const Bits ni = transfer(bi);
+      if (ni != live_in[bi]) {
+        live_in[bi] = ni;
+        for (std::size_t p : cfg_.blocks[bi].pred) {
+          if (!cfg_.reachable[p]) continue;
+          const Bits no = live_out[p] | ni;
+          if (no != live_out[p]) {
+            live_out[p] = no;
+            work.push_back(p);
+          }
+        }
+      }
+    }
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      if (!cfg_.reachable[bi]) continue;
+      Bits s = live_out[bi];
+      const BasicBlock& b = cfg_.blocks[bi];
+      for (std::size_t i = b.last; i-- > b.first;) {
+        const Instruction& ins = prog_.code[i];
+        if (reportable_dead_def(ins.op) && ins.rd < kRegs && !s.test(ins.rd)) {
+          report("dead-store", Severity::Warning, i,
+                 "dead store to " + reg(ins.rd) + ": the value is never used");
+        }
+        for_each_def(ins, [&](unsigned r) { s.reset(r); });
+        for_each_use(ins, [&](unsigned r) { s.set(r); });
+      }
+    }
+  }
+
+  // ---- memory shape: constant propagation + counted-loop strides ----------
+  void check_memory_shape() {
+    const std::size_t nb = cfg_.blocks.size();
+    std::vector<State> in(nb), out(nb);
+    std::vector<bool> visited(nb, false);
+    visited[0] = true;  // entry: all unknown
+    const auto transfer = [&](std::size_t bi) {
+      State s = in[bi];
+      const BasicBlock& b = cfg_.blocks[bi];
+      for (std::size_t i = b.first; i < b.last; ++i) xfer_const(prog_.code[i], s);
+      return s;
+    };
+    std::vector<std::size_t> work{0};
+    while (!work.empty()) {
+      const std::size_t bi = work.back();
+      work.pop_back();
+      out[bi] = transfer(bi);
+      for (std::size_t s : cfg_.blocks[bi].succ) {
+        if (!visited[s]) {
+          visited[s] = true;
+          in[s] = out[bi];
+          work.push_back(s);
+        } else {
+          const State m = merge_state(in[s], out[bi]);
+          if (!(m == in[s])) {
+            in[s] = m;
+            work.push_back(s);
+          }
+        }
+      }
+    }
+
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      if (!cfg_.reachable[bi]) continue;
+      State st = in[bi];
+      const BasicBlock& b = cfg_.blocks[bi];
+      for (std::size_t i = b.first; i < b.last; ++i) {
+        const Instruction& ins = prog_.code[i];
+        if (isa::is_load(ins.op) || isa::is_store(ins.op)) {
+          const AV base = st[ins.rn];
+          if (base.known) {
+            const std::int64_t addr = ins.postmodify ? base.v : base.v + ins.imm;
+            check_access(i, addr, access_size(ins), isa::is_store(ins.op));
+          }
+        }
+        xfer_const(ins, st);
+      }
+      check_counted_self_loop(bi, in, out);
+    }
+  }
+
+  static std::int64_t access_size(const Instruction& ins) {
+    return ins.op == Opcode::Ldrd || ins.op == Opcode::Strd ? 8 : 4;
+  }
+
+  void check_access(std::size_t i, std::int64_t addr, std::int64_t size, bool store) {
+    const std::int64_t extent = opts_.extent;
+    if (addr < 0) {
+      report("mem-extent", Severity::Error, i, "access at negative address " + hex(addr));
+      return;
+    }
+    if (addr + size > extent) {
+      report("mem-extent", Severity::Error, i,
+             "access at " + hex(addr) + " (+" + std::to_string(size) +
+                 ") is outside the declared scratchpad extent " + hex(extent));
+      return;
+    }
+    const auto bank = [](std::int64_t a) { return a / arch::AddressMap::kBankBytes; };
+    if (bank(addr) != bank(addr + size - 1)) {
+      report("bank-straddle", Severity::Warning, i,
+             "access at " + hex(addr) + " (+" + std::to_string(size) +
+                 ") straddles an 8 KB bank boundary (keep code/data/DMA banks separate)");
+    }
+    if (store) check_code_write(i, addr, addr + size, "store at " + hex(addr));
+  }
+
+  void check_code_write(std::size_t i, std::int64_t lo, std::int64_t hi,
+                        const std::string& what) {
+    for (const Region& r : code_regions_) {
+      if (lo < static_cast<std::int64_t>(r.end()) &&
+          static_cast<std::int64_t>(r.offset) < hi) {
+        report("code-write", Severity::Error, i,
+               what + " lands in the program's own code region '" + r.name + "' [" +
+                   hex(r.offset) + ", " + hex(r.end()) + ")");
+        return;
+      }
+    }
+  }
+
+  /// Bound postmodify walks of single-block counted loops:
+  ///   loop: ... sub rC, rC, #k ... bne loop
+  /// with rC constant on loop entry. This is the only loop shape the
+  /// paper's kernels use, so the common case is fully checked.
+  void check_counted_self_loop(std::size_t bi, const std::vector<State>& in,
+                               const std::vector<State>& out) {
+    const BasicBlock& b = cfg_.blocks[bi];
+    const Instruction& tail = prog_.code[b.last - 1];
+    if (tail.op != Opcode::Bne) return;
+    if (tail.imm < 0 || static_cast<std::size_t>(tail.imm) >= prog_.size() ||
+        cfg_.block_of[static_cast<std::size_t>(tail.imm)] != bi) {
+      return;  // not a self-loop
+    }
+
+    // Loop-entry state: merge of every reachable non-back-edge predecessor.
+    State pre;
+    bool have_pre = false;
+    for (std::size_t p : b.pred) {
+      if (p == bi || !cfg_.reachable[p]) continue;
+      pre = have_pre ? merge_state(pre, out[p]) : out[p];
+      have_pre = true;
+    }
+    (void)in;
+    if (!have_pre) return;
+
+    // The counter: the *last* Z-setting instruction, which the bne tests.
+    std::size_t cnt_i = Finding::kNoInstr;
+    for (std::size_t i = b.first; i < b.last; ++i) {
+      const Opcode op = prog_.code[i].op;
+      if (op == Opcode::Add || op == Opcode::Sub) cnt_i = i;
+    }
+    if (cnt_i == Finding::kNoInstr) return;
+    const Instruction& cnt = prog_.code[cnt_i];
+    if (cnt.op != Opcode::Sub || !cnt.has_imm || cnt.rd != cnt.rn || cnt.imm <= 0) return;
+    const unsigned counter = cnt.rd;
+    for (std::size_t i = b.first; i < b.last; ++i) {
+      if (i == cnt_i) continue;
+      bool redefined = false;
+      for_each_def(prog_.code[i], [&](unsigned r) { redefined |= r == counter; });
+      if (redefined) return;  // counter is not a simple induction variable
+    }
+    if (!pre[counter].known || pre[counter].v <= 0) return;
+    if (pre[counter].v % cnt.imm != 0) {
+      report("termination", Severity::Error, cnt_i,
+             "loop counter " + reg(counter) + " starts at " +
+                 std::to_string(pre[counter].v) + " and steps by " +
+                 std::to_string(cnt.imm) + ": it never reaches zero (infinite loop)");
+      return;
+    }
+    const std::int64_t trips = pre[counter].v / cnt.imm;
+
+    // Cursor registers: every in-loop definition is an increment by a
+    // constant (postmodify or add/sub #imm on itself).
+    struct Cursor {
+      bool valid = true;
+      std::int64_t delta = 0;  // net change per iteration
+    };
+    std::array<Cursor, kRegs> cursors;
+    const auto step_of = [](const Instruction& ins, unsigned r) -> std::int64_t {
+      // Increment this instruction applies to register r, or 0.
+      if ((isa::is_load(ins.op) || isa::is_store(ins.op)) && ins.postmodify &&
+          ins.rn == r) {
+        return ins.imm;
+      }
+      if ((ins.op == Opcode::Add || ins.op == Opcode::Sub) && ins.has_imm &&
+          ins.rd == r && ins.rn == r) {
+        return ins.op == Opcode::Add ? ins.imm : -std::int64_t{ins.imm};
+      }
+      return 0;
+    };
+    const auto is_increment = [&](const Instruction& ins, unsigned r) {
+      return step_of(ins, r) != 0;
+    };
+    for (std::size_t i = b.first; i < b.last; ++i) {
+      const Instruction& ins = prog_.code[i];
+      for_each_def(ins, [&](unsigned r) {
+        if (r >= kRegs) return;
+        if (is_increment(ins, r)) {
+          cursors[r].delta += step_of(ins, r);
+        } else {
+          cursors[r].valid = false;
+        }
+      });
+    }
+
+    // Walk the block once more, bounding every access off a live cursor.
+    std::array<std::int64_t, kRegs> cum{};
+    for (std::size_t i = b.first; i < b.last; ++i) {
+      const Instruction& ins = prog_.code[i];
+      if (isa::is_load(ins.op) || isa::is_store(ins.op)) {
+        const unsigned bn = ins.rn;
+        if (bn < kRegs && bn != counter && cursors[bn].valid &&
+            cursors[bn].delta != 0 && pre[bn].known) {
+          const std::int64_t d = cursors[bn].delta;
+          const std::int64_t rel = cum[bn] + (ins.postmodify ? 0 : ins.imm);
+          const std::int64_t a0 = pre[bn].v + rel;
+          const std::int64_t alast = a0 + (trips - 1) * d;
+          const std::int64_t lo = std::min(a0, alast);
+          const std::int64_t hi = std::max(a0, alast) + access_size(ins);
+          if (lo < 0) {
+            report("mem-extent", Severity::Error, i,
+                   "postmodify stride walks to negative address " + hex(lo));
+          } else if (hi > static_cast<std::int64_t>(opts_.extent)) {
+            report("mem-extent", Severity::Error, i,
+                   "postmodify stride walks [" + hex(lo) + ", " + hex(hi) +
+                       ") outside the declared scratchpad extent " +
+                       hex(opts_.extent));
+          } else if (isa::is_store(ins.op) && !code_regions_.empty()) {
+            // Exact per-iteration overlap test (trips are small in practice).
+            const std::int64_t cap = std::min<std::int64_t>(trips, 1 << 16);
+            for (std::int64_t it = 0; it < cap; ++it) {
+              const std::int64_t a = a0 + it * d;
+              bool flagged = false;
+              for (const Region& r : code_regions_) {
+                if (a < static_cast<std::int64_t>(r.end()) &&
+                    static_cast<std::int64_t>(r.offset) < a + access_size(ins)) {
+                  check_code_write(i, a, a + access_size(ins),
+                                   "strided store (iteration " + std::to_string(it) +
+                                       ") at " + hex(a));
+                  flagged = true;
+                  break;
+                }
+              }
+              if (flagged) break;
+            }
+          }
+        }
+      }
+      for (unsigned r = 0; r < kRegs; ++r) cum[r] += step_of(ins, r);
+    }
+  }
+
+  const isa::Program& prog_;
+  LintOptions opts_;
+  Cfg cfg_;
+  std::vector<Region> code_regions_;
+  std::vector<Finding> findings_;
+  bool registers_in_range_ = true;
+};
+
+}  // namespace
+
+std::vector<Finding> lint_program(const isa::Program& prog, const LintOptions& opts) {
+  return Linter(prog, opts).run();
+}
+
+}  // namespace epi::lint

@@ -12,6 +12,7 @@
 #include "arch/coords.hpp"
 #include "arch/timing.hpp"
 #include "dma/channel.hpp"
+#include "lint/sanitizer.hpp"
 #include "mem/memory_system.hpp"
 #include "noc/elink.hpp"
 #include "noc/mesh.hpp"
@@ -93,6 +94,22 @@ public:
 
   [[nodiscard]] Core& core(arch::CoreCoord c) { return cores_[cfg_.dims.index_of(c)]; }
 
+  // ---- runtime sanitizer --------------------------------------------------
+  /// Attach an epi-lint MemSanitizer to the memory system. Idempotent;
+  /// returns the (owned) sanitizer so callers can inspect findings.
+  lint::MemSanitizer& enable_sanitizer() {
+    if (!sanitizer_) {
+      sanitizer_ = std::make_unique<lint::MemSanitizer>();
+      mem_.set_hook(sanitizer_.get());
+    }
+    return *sanitizer_;
+  }
+  void disable_sanitizer() noexcept {
+    mem_.set_hook(nullptr);
+    sanitizer_.reset();
+  }
+  [[nodiscard]] lint::MemSanitizer* sanitizer() noexcept { return sanitizer_.get(); }
+
 private:
   arch::MachineConfig cfg_;
   sim::Engine engine_;
@@ -101,6 +118,7 @@ private:
   noc::ELink elink_write_;
   noc::ELink elink_read_;
   std::deque<Core> cores_;  // deque: Core is immovable (owns DmaChannels)
+  std::unique_ptr<lint::MemSanitizer> sanitizer_;
 };
 
 }  // namespace epi::machine

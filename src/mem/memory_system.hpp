@@ -19,6 +19,7 @@
 
 #include "arch/address_map.hpp"
 #include "arch/coords.hpp"
+#include "mem/hook.hpp"
 #include "mem/local_memory.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
@@ -72,11 +73,14 @@ public:
   void write_bytes(arch::Addr a, std::span<const std::byte> src, arch::CoreCoord issuer) {
     auto dst = resolve(a, src.size(), issuer);
     std::memcpy(dst.data(), src.data(), src.size());
-    notify_watches(canonical(a, issuer), static_cast<std::uint32_t>(src.size()));
+    const arch::Addr ca = canonical(a, issuer);
+    if (hook_) hook_->on_write(ca, src.size(), issuer, engine_->now());
+    notify_watches(ca, static_cast<std::uint32_t>(src.size()));
   }
   void read_bytes(arch::Addr a, std::span<std::byte> dst, arch::CoreCoord issuer) {
     auto src = resolve(a, dst.size(), issuer);
     std::memcpy(dst.data(), src.data(), dst.size());
+    if (hook_) hook_->on_read(canonical(a, issuer), dst.size(), issuer, engine_->now());
   }
 
   template <typename T>
@@ -97,22 +101,43 @@ public:
     auto s = resolve(src, n, issuer);
     auto d = resolve(dst, n, issuer);
     std::memmove(d.data(), s.data(), n);
-    notify_watches(canonical(dst, issuer), static_cast<std::uint32_t>(n));
+    const arch::Addr cd = canonical(dst, issuer);
+    if (hook_) {
+      hook_->on_read(canonical(src, issuer), n, issuer, engine_->now());
+      hook_->on_write(cd, n, issuer, engine_->now());
+    }
+    notify_watches(cd, static_cast<std::uint32_t>(n));
   }
 
   // ---- watches: event-driven flag waits ---------------------------------
 
   /// Suspend until `pred(current u32 at a)` holds; re-evaluated after every
   /// write overlapping `a`. Models the spin loops of Listings 1/2 with a
-  /// small wake-up cost instead of per-cycle polling.
+  /// small wake-up cost instead of per-cycle polling. The flag reads are
+  /// invisible to any hook (they are the synchronisation itself); on
+  /// success the hook sees a single on_sync acquire for the issuer.
   template <typename Pred>
   sim::Op<void> wait_u32(arch::Addr a, arch::CoreCoord issuer, Pred pred) {
-    while (!pred(read_value<std::uint32_t>(a, issuer))) {
+    while (!pred(read_u32_raw(a, issuer))) {
       co_await WatchAwaiter{*this, canonical(a, issuer)};
     }
+    if (hook_) hook_->on_sync(issuer, engine_->now());
+  }
+
+  /// A synchronising read (e.g. a mutex TESTSET probe): functionally a plain
+  /// u32 load, but reported to the hook as an acquire rather than a data
+  /// read, so the sanitizer treats subsequent remote data as ordered.
+  [[nodiscard]] std::uint32_t read_u32_acquire(arch::Addr a, arch::CoreCoord issuer) {
+    const std::uint32_t v = read_u32_raw(a, issuer);
+    if (hook_) hook_->on_sync(issuer, engine_->now());
+    return v;
   }
 
   [[nodiscard]] std::size_t active_watches() const noexcept { return watches_.size(); }
+
+  /// Install (or clear, with nullptr) the traffic observer. Not owned.
+  void set_hook(MemoryHook* hook) noexcept { hook_ = hook; }
+  [[nodiscard]] MemoryHook* hook() const noexcept { return hook_; }
 
 private:
   struct Watch {
@@ -130,6 +155,14 @@ private:
     }
     void await_resume() const noexcept {}
   };
+
+  /// Hook-invisible u32 load, for reads that *are* synchronisation.
+  [[nodiscard]] std::uint32_t read_u32_raw(arch::Addr a, arch::CoreCoord issuer) {
+    std::uint32_t v;
+    auto src = resolve(a, sizeof v, issuer);
+    std::memcpy(&v, src.data(), sizeof v);
+    return v;
+  }
 
   /// Canonicalise a local-alias address to its global form so that a remote
   /// writer's store to the global address wakes a local-alias watcher.
@@ -166,6 +199,7 @@ private:
   std::vector<LocalMemory> locals_;
   std::vector<std::byte> external_;
   std::vector<Watch> watches_;
+  MemoryHook* hook_ = nullptr;
 };
 
 }  // namespace epi::mem

@@ -59,6 +59,60 @@ TEST(Assembler, HexAndNegativeImmediates) {
   EXPECT_EQ(p.code[1].imm, -5);
 }
 
+/// Errors carry the 1-based source line of the offending statement, which
+/// downstream diagnostics (epi_lint) surface as file:line.
+unsigned error_line(const char* text) {
+  try {
+    (void)assemble(text);
+  } catch (const AssemblyError& e) {
+    return e.line;
+  }
+  return 0;  // no throw: the caller's EXPECT will flag it
+}
+
+TEST(Assembler, OddDoublewordPairReportsItsLine) {
+  EXPECT_EQ(error_line("mov r0, #0\n"
+                       "ldrd r3, [r0, #0]\n"
+                       "halt\n"),
+            2u);
+  EXPECT_EQ(error_line("mov r0, #0\n"
+                       "mov r1, #0\n"
+                       "strd r5, [r0], #8\n"
+                       "halt\n"),
+            3u);
+}
+
+TEST(Assembler, RegisterBeyondFileReportsItsLine) {
+  EXPECT_EQ(error_line("mov r64, #1\nhalt\n"), 1u);
+  EXPECT_EQ(error_line("halt\nmov r100, #1\n"), 2u);
+  EXPECT_EQ(error_line("\n; comment\nfadd r1, r2, r99\nhalt\n"), 3u);
+}
+
+TEST(Assembler, UndefinedLabelReportsTheBranchLine) {
+  EXPECT_EQ(error_line("mov r0, #0\n"
+                       "beq nowhere\n"
+                       "halt\n"),
+            2u);
+}
+
+TEST(Assembler, ProgramRecordsSourceLines) {
+  const Program p = assemble(
+      "; leading comment\n"
+      "mov r7, #2\n"
+      "\n"
+      "loop:\n"
+      "sub r7, r7, #1\n"
+      "bne loop\n"
+      "halt\n");
+  ASSERT_EQ(p.size(), 4u);
+  ASSERT_EQ(p.lines.size(), 4u);
+  EXPECT_EQ(p.line_of(0), 2u);
+  EXPECT_EQ(p.line_of(1), 5u);
+  EXPECT_EQ(p.line_of(2), 6u);
+  EXPECT_EQ(p.line_of(3), 7u);
+  EXPECT_EQ(p.line_of(99), 0u);  // out of range: untracked
+}
+
 // ---- functional semantics -----------------------------------------------------
 
 TEST(Interpreter, IntegerArithmeticAndFlags) {

@@ -166,4 +166,49 @@ TEST_F(MemorySystemTest, ExternalSpanBoundsChecked) {
                std::out_of_range);
 }
 
+// ---- resolve() edge cases ------------------------------------------------
+
+TEST_F(MemorySystemTest, ResolveZeroLengthAtBoundaries) {
+  const CoreCoord c{0, 0};
+  // A zero-length span exactly at the end of a scratchpad (or the external
+  // window) is addressable emptiness, not an overflow.
+  EXPECT_NO_THROW((void)mem.resolve(arch::AddressMap::kLocalMemBytes, 0, c));
+  EXPECT_EQ(mem.resolve(arch::AddressMap::kLocalMemBytes, 0, c).size(), 0u);
+  const Addr ext_end = mem.map().external_base + arch::AddressMap::kExternalBytes;
+  EXPECT_NO_THROW((void)mem.resolve(ext_end - 4, 4, c));
+  EXPECT_THROW((void)mem.resolve(ext_end - 4, 8, c), std::out_of_range);
+}
+
+TEST_F(MemorySystemTest, ResolveScratchpadBoundary) {
+  const CoreCoord c{2, 3};
+  const Addr base = mem.map().global(c, 0);
+  constexpr Addr kSize = arch::AddressMap::kLocalMemBytes;
+  EXPECT_NO_THROW((void)mem.resolve(base + kSize - 4, 4, c));
+  EXPECT_THROW((void)mem.resolve(base + kSize - 2, 4, c), std::out_of_range);
+  // Local-alias form of the same overflow.
+  EXPECT_THROW((void)mem.resolve(kSize - 2, 4, c), std::out_of_range);
+}
+
+TEST_F(MemorySystemTest, ResolveExternalWindowBoundary) {
+  const CoreCoord c{0, 0};
+  const Addr base = mem.map().external_base;
+  constexpr Addr kSize = arch::AddressMap::kExternalBytes;
+  EXPECT_NO_THROW((void)mem.resolve(base, 4, c));
+  EXPECT_NO_THROW((void)mem.resolve(base + kSize - 4, 4, c));
+  // One past the window is not external any more: unmapped.
+  EXPECT_THROW((void)mem.resolve(base + kSize, 4, c), std::out_of_range);
+}
+
+TEST_F(MemorySystemTest, UnmappedAddressNamesTheAddress) {
+  const CoreCoord c{0, 0};
+  try {
+    (void)mem.resolve(0x40000000, 4, c);  // between core windows and DRAM
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unmapped global address 0x"), std::string::npos) << what;
+    EXPECT_NE(what.find("40000000"), std::string::npos) << what;
+  }
+}
+
 }  // namespace

@@ -133,10 +133,12 @@ TEST(Op, NonDefaultConstructibleResult) {
     co_await delay(eng, 1);
     co_return Boxed(99);
   };
-  spawn(e, [&make](Engine& eng, int& out) -> Op<void> {
-    Boxed b = co_await make(eng);
+  // Capture-less: a capturing coroutine lambda's closure dies with the full
+  // expression, leaving the suspended frame with dangling capture refs.
+  spawn(e, [](Engine& eng, int& out, decltype(make)& mk) -> Op<void> {
+    Boxed b = co_await mk(eng);
     out = b.v;
-  }(e, got));
+  }(e, got, make));
   e.run();
   EXPECT_EQ(got, 99);
 }
@@ -169,13 +171,13 @@ TEST(Process, ExceptionCrossesOpBoundary) {
     throw std::logic_error("inner");
   };
   bool caught = false;
-  auto p = spawn(e, [&inner, &caught](Engine& eng) -> Op<void> {
+  auto p = spawn(e, [](Engine& eng, decltype(inner)& in, bool& c) -> Op<void> {
     try {
-      (void)co_await inner(eng);
+      (void)co_await in(eng);
     } catch (const std::logic_error&) {
-      caught = true;
+      c = true;
     }
-  }(e));
+  }(e, inner, caught));
   e.run();
   EXPECT_TRUE(caught);
   EXPECT_FALSE(p.failed());

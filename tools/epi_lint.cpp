@@ -1,0 +1,159 @@
+// epi_lint: command-line front end for the epi::lint static analyzer.
+//
+// Lints eCore assembly (.s files in the subset syntax of isa/assembler.hpp)
+// and/or the built-in reconstructions of the paper's kernels, printing
+// compiler-style "file:line: severity: message [pass]" diagnostics.
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or assembly error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/kernels.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: epi_lint [options] [kernel.s ...]\n"
+        "\n"
+        "Static checks on eCore ISA-subset assembly. With no inputs, lints\n"
+        "the built-in paper kernels (same as --kernels).\n"
+        "\n"
+        "options:\n"
+        "  --kernels         lint the built-in stencil and matmul kernels\n"
+        "  --extent N        declared scratchpad data extent in bytes\n"
+        "                    (default 32768; accepts 0x-prefixed hex)\n"
+        "  --code OFF:SIZE   declare the program's code region, enabling\n"
+        "                    store-into-code checks (both 0x-hex or decimal)\n"
+        "  -h, --help        this text\n";
+}
+
+bool parse_u32(const std::string& s, std::uint32_t& out) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long v = std::stoul(s, &pos, 0);
+    if (pos != s.size() || v > 0xFFFFFFFFul) return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// AssemblyError::what() begins with its own "line N: "; drop it, since we
+/// print the location in file:line form already.
+std::string assembly_message(const epi::isa::AssemblyError& e) {
+  const std::string what = e.what();
+  const std::string prefix = "line " + std::to_string(e.line) + ": ";
+  return what.rfind(prefix, 0) == 0 ? what.substr(prefix.size()) : what;
+}
+
+/// Lint one assembled program; print findings; return their count.
+std::size_t lint_one(const std::string& name, const epi::isa::Program& prog,
+                     const epi::lint::LintOptions& opts) {
+  const auto findings = epi::lint::lint_program(prog, opts);
+  for (const auto& f : findings) {
+    std::cout << f.format(name) << "\n";
+  }
+  return findings.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  epi::lint::LintOptions opts;
+  bool builtins = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--kernels") {
+      builtins = true;
+    } else if (arg == "--extent") {
+      if (++i >= argc || !parse_u32(argv[i], opts.extent)) {
+        std::cerr << "epi_lint: --extent needs a byte count\n";
+        return 2;
+      }
+    } else if (arg == "--code") {
+      std::uint32_t off = 0, size = 0;
+      const std::string spec = ++i < argc ? argv[i] : "";
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos || !parse_u32(spec.substr(0, colon), off) ||
+          !parse_u32(spec.substr(colon + 1), size)) {
+        std::cerr << "epi_lint: --code needs OFFSET:SIZE\n";
+        return 2;
+      }
+      opts.code_region =
+          epi::lint::Region{"code", epi::lint::RegionKind::Code, off, size};
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "epi_lint: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) builtins = true;
+
+  std::size_t total = 0;
+  if (builtins) {
+    // The paper's kernels at representative sizes: a 4-row-pair stencil
+    // stripe (output after the 22-float x 10-row input block) and the full
+    // 32-row matmul macro, with its documented A/B/C bank placement.
+    const std::string stencil =
+        epi::isa::generate_stencil_stripe(4, epi::util::StencilWeights{}, 880);
+    const std::string matmul = epi::isa::generate_matmul_rows(32);
+    epi::lint::LintOptions mm_opts = opts;
+    if (!mm_opts.layout) {
+      mm_opts.layout = epi::lint::ScratchpadLayout{};
+      mm_opts.layout->add("A", epi::lint::RegionKind::Data, 0x0000, 0x1000)
+          .add("B", epi::lint::RegionKind::Data, 0x1000, 0x1000)
+          .add("C", epi::lint::RegionKind::Data, 0x2000, 0x1000);
+    }
+    try {
+      total += lint_one("<builtin:stencil>", epi::isa::assemble(stencil), opts);
+      total += lint_one("<builtin:matmul>", epi::isa::assemble(matmul), mm_opts);
+    } catch (const epi::isa::AssemblyError& e) {
+      std::cerr << "<builtin>:" << e.line << ": error: " << assembly_message(e)
+                << "\n";
+      return 2;
+    }
+  }
+
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "epi_lint: cannot open '" << file << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      total += lint_one(file, epi::isa::assemble(text.str()), opts);
+    } catch (const epi::isa::AssemblyError& e) {
+      std::cout << file << ":" << e.line << ": error: " << assembly_message(e)
+                << "\n";
+      return 2;
+    }
+  }
+
+  if (total == 0) {
+    std::cout << "epi_lint: clean ("
+              << (builtins ? files.size() + 2 : files.size()) << " program"
+              << ((builtins ? files.size() + 2 : files.size()) == 1 ? "" : "s")
+              << ")\n";
+    return 0;
+  }
+  return 1;
+}
