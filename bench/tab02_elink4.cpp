@@ -2,20 +2,25 @@
 // 2 KB blocks to external DRAM; per-node iteration counts and eLink share.
 // Paper: 0.41 / 0.33 / 0.17 / 0.08 -- highly position-dependent.
 //
-// Usage: tab02_elink4 [window_seconds]   (default 0.5; paper used 2.0)
+// Usage: tab02_elink4 [window_seconds] [--trace=FILE] [--csv=FILE]
+//                     [--metrics=FILE] [--no-metrics]
+// (default window 0.5; paper used 2.0)
 
-#include <cstdlib>
 #include <iostream>
 
 #include "core/microbench.hpp"
+#include "trace/profile.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace epi;
-  const double window = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const auto args = util::BenchArgs::parse(argc, argv, "tab02_elink4");
+  const double window = args.positional_double(0, 0.5);
   std::cout << "Table II: 4 mesh nodes writing 2KB blocks to DRAM over "
             << util::fmt(window, 2) << " s (simulated)\n\n";
   host::System sys;
+  if (args.tracing()) sys.machine().enable_tracing();
   const auto res = core::measure_elink_contention(sys, 2, 2, 2048, window);
   util::Table t({"Mesh node", "Iterations", "Utilization"});
   for (const auto& n : res.nodes) {
@@ -26,5 +31,21 @@ int main(int argc, char** argv) {
   std::cout << "\nAggregate: " << util::fmt(res.total_mb_per_s, 1)
             << " MB/s (paper cap: 150 MB/s, one quarter of the 600 MB/s eLink).\n"
             << "Paper shares: 0,0=0.41  0,1=0.33  1,0=0.17  1,1=0.08\n";
+
+  util::BenchReport report("tab02_elink4");
+  report.metric("window_seconds", res.window_seconds);
+  report.metric("aggregate_mb_per_s", res.total_mb_per_s);
+  for (const auto& n : res.nodes) {
+    report.metric("iterations_" + std::to_string(n.coord.row) + "_" +
+                      std::to_string(n.coord.col),
+                  static_cast<double>(n.iterations));
+  }
+  const trace::Tracer* tracer = sys.machine().tracer();
+  if (tracer != nullptr) {
+    const auto profile = trace::attribute(*tracer, 0, sys.engine().now());
+    util::finish_bench(args, tracer, report, &profile);
+  } else {
+    util::finish_bench(args, nullptr, report);
+  }
   return 0;
 }

@@ -2,21 +2,30 @@
 // Paper: nodes near the exit win almost everything; 24 nodes complete zero
 // iterations ("the effects of starvation are clearly evident").
 //
-// Usage: tab03_elink64 [window_seconds]   (default 0.25; paper used 2.0)
+// Usage: tab03_elink64 [window_seconds] [--trace=FILE] [--csv=FILE]
+//                      [--metrics=FILE] [--no-metrics]
+// (default window 0.25; paper used 2.0)
+//
+// With --trace=FILE the starvation is directly visible in the Perfetto UI:
+// the "eLink write" row shows which core each grant went to, and the starved
+// cores' `elink.write.bytes@(r,c)` counters stay flat for the whole window.
 
 #include <algorithm>
-#include <cstdlib>
 #include <iostream>
 
 #include "core/microbench.hpp"
+#include "trace/profile.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace epi;
-  const double window = argc > 1 ? std::atof(argv[1]) : 0.25;
+  const auto args = util::BenchArgs::parse(argc, argv, "tab03_elink64");
+  const double window = args.positional_double(0, 0.25);
   std::cout << "Table III: 64 mesh nodes writing 2KB blocks to DRAM over "
             << util::fmt(window, 2) << " s (simulated)\n\n";
   host::System sys;
+  if (args.tracing()) sys.machine().enable_tracing();
   auto res = core::measure_elink_contention(sys, 8, 8, 2048, window);
 
   // Top writers, then a histogram of the rest (the paper groups them).
@@ -54,5 +63,18 @@ int main(int argc, char** argv) {
             << "(Model note: our stationary arbitration starves strictly by cascade\n"
             << "depth; the measured near-equal split among the top four column-7\n"
             << "nodes is a burst-timing artefact we do not reproduce.)\n";
+
+  util::BenchReport report("tab03_elink64");
+  report.metric("window_seconds", res.window_seconds);
+  report.metric("aggregate_mb_per_s", res.total_mb_per_s);
+  report.metric("starved_nodes", static_cast<double>(zero));
+  report.metric("top_iterations", static_cast<double>(sorted.front().iterations));
+  const trace::Tracer* tracer = sys.machine().tracer();
+  if (tracer != nullptr) {
+    const auto profile = trace::attribute(*tracer, 0, sys.engine().now());
+    util::finish_bench(args, tracer, report, &profile);
+  } else {
+    util::finish_bench(args, nullptr, report);
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dma/descriptor.hpp"
+#include "trace/tracer.hpp"
 #include "util/reference.hpp"
 
 namespace epi::core {
@@ -116,6 +117,7 @@ sim::Op<void> compute_step(device::CoreCtx& ctx, const CannonCfg& cfg, unsigned 
                            std::vector<float>& bbuf) {
   const Cycles t0 = ctx.now();
   co_await ctx.compute(MatmulSchedule::block_cycles(cfg.m, cfg.n, cfg.k, cfg.cg));
+  ctx.count_flops(MatmulSchedule::block_flops(cfg.m, cfg.n, cfg.k));
   load_block(ctx, operand_addrs(MatmulLayout::kARegion, cfg.scheme, parity, cfg.a_bytes()),
              cfg.m, cfg.n, abuf);
   load_block(ctx, operand_addrs(MatmulLayout::kBRegion, cfg.scheme, parity, cfg.b_bytes()),
@@ -443,6 +445,10 @@ sim::Op<void> offchip_kernel(device::CoreCtx& ctx, CannonCfg cfg, OffChipShared 
         // block's write-back (channel 0, off-chip *write* network) overlaps
         // with this page-in (off-chip *read* network).
         const Cycles p0 = ctx.now();
+        // The whole page-in -- DMA waits *and* the levelling barrier -- is one
+        // Comm phase, matching the paper's measurement semantics (cnt.paging
+        // below likewise includes the barrier).
+        ctx.phase_begin(trace::Phase::Comm, "page-in");
         const BlockAddrs da =
             operand_addrs(MatmulLayout::kARegion, cfg.scheme, parity, cfg.a_bytes());
         const BlockAddrs db =
@@ -487,6 +493,7 @@ sim::Op<void> offchip_kernel(device::CoreCtx& ctx, CannonCfg cfg, OffChipShared 
           std::fill(cblock.begin(), cblock.end(), 0.0f);
         }
         co_await ctx.barrier();
+        ctx.phase_end();
         cnt.paging += ctx.now() - p0;
 
         co_await cannon_phase(ctx, cfg, parity, round, cnt);
@@ -495,6 +502,7 @@ sim::Op<void> offchip_kernel(device::CoreCtx& ctx, CannonCfg cfg, OffChipShared 
 
       // Kick the finished C block back to shared DRAM without blocking.
       const Cycles w0 = ctx.now();
+      ctx.phase_begin(trace::Phase::Comm, "c-writeback");
       const std::uint32_t c_row0 = (bi * g + i) * b;
       const std::uint32_t c_col0 = (bj * g + j) * b;
       co_await ctx.dma_set_desc();
@@ -504,6 +512,7 @@ sim::Op<void> offchip_kernel(device::CoreCtx& ctx, CannonCfg cfg, OffChipShared 
           static_cast<std::int32_t>(row_bytes), ld_bytes, dma::ElemSize::DWord);
       co_await ctx.dma_start(0, cd);
       c_outstanding = true;
+      ctx.phase_end();
       cnt.paging += ctx.now() - w0;
     }
   }

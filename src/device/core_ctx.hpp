@@ -23,6 +23,7 @@
 #include <functional>
 #include <span>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "arch/address_map.hpp"
@@ -31,6 +32,7 @@
 #include "machine/machine.hpp"
 #include "sim/task.hpp"
 #include "sim/wait.hpp"
+#include "trace/tracer.hpp"
 
 namespace epi::device {
 
@@ -130,16 +132,58 @@ public:
     return std::span<T>(reinterpret_cast<T*>(bytes.data()), count);
   }
 
+  // ---- tracing -----------------------------------------------------------
+  // Phase spans feed the epi-trace cycle-attribution profiler. Only the
+  // *outermost* phase is recorded (depth suppression), so a kernel-level
+  // scope like phase(Phase::Comm, "page-in") absorbs the smaller spans the
+  // primitives below would otherwise emit, spans never overlap, and the
+  // per-core attribution partitions the run exactly.
+
+  /// RAII guard closing a phase opened by CoreCtx::phase().
+  class PhaseScope {
+  public:
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+    ~PhaseScope() { ctx_->phase_end(); }
+
+  private:
+    friend class CoreCtx;
+    explicit PhaseScope(CoreCtx& ctx) noexcept : ctx_(&ctx) {}
+    CoreCtx* ctx_;
+  };
+
+  void phase_begin(trace::Phase p, std::string_view name) {
+    if (++trace_depth_ == 1) {
+      if (auto* t = m_->tracer()) t->core_begin(coord_, p, name, now());
+    }
+  }
+  void phase_end() {
+    if (trace_depth_-- == 1) {
+      if (auto* t = m_->tracer()) t->core_end(coord_, now());
+    }
+  }
+  /// Open a named phase for the current scope (kernels use this to label
+  /// whole algorithm stages, e.g. the off-chip matmul's "page-in").
+  [[nodiscard]] PhaseScope phase(trace::Phase p, std::string_view name) {
+    phase_begin(p, name);
+    return PhaseScope(*this);
+  }
+  /// Kernel-reported retired floating-point work (the "flops" counters).
+  void count_flops(double flops) {
+    if (auto* t = m_->tracer()) t->count_flops(coord_, now(), flops);
+  }
+
   // ---- timed operations --------------------------------------------------
   /// Pure computation lasting `c` cycles.
-  [[nodiscard]] sim::Delay compute(sim::Cycles c) noexcept {
-    return sim::delay(m_->engine(), c);
+  [[nodiscard]] sim::Delay compute(sim::Cycles c) {
+    return timed(trace::Phase::Compute, "compute", c);
   }
 
   /// Posted remote (or local) word store: functional write + issue cost.
   /// Stores into the external window cross the eLink (off-chip write
   /// network) and contend with other off-chip traffic.
   sim::Op<void> write_u32(arch::Addr a, std::uint32_t v) {
+    auto ph = phase(trace::Phase::Comm, "store");
     if (m_->mem().map().is_external(a)) {
       co_await m_->elink_write().txn(coord_, 4);
     } else {
@@ -148,6 +192,7 @@ public:
     m_->mem().write_value<std::uint32_t>(a, v, coord_);
   }
   sim::Op<void> write_f32(arch::Addr a, float v) {
+    auto ph = phase(trace::Phase::Comm, "store");
     if (m_->mem().map().is_external(a)) {
       co_await m_->elink_write().txn(coord_, 4);
     } else {
@@ -164,6 +209,7 @@ public:
     if (!m_->mem().map().is_external(dst)) {
       throw std::invalid_argument("external_write_block requires an external destination");
     }
+    auto ph = phase(trace::Phase::Comm, "elink-write");
     co_await m_->elink_write().txn(coord_, bytes);
     buffer_.resize(bytes);
     m_->mem().read_bytes(src, std::span<std::byte>(buffer_.data(), bytes), coord_);
@@ -172,6 +218,8 @@ public:
 
   /// Word load; remote loads pay the read-network round trip.
   sim::Op<std::uint32_t> read_u32(arch::Addr a) {
+    auto ph = phase(owner_of(a) == coord_ ? trace::Phase::Compute : trace::Phase::Comm,
+                    "load");
     co_await compute(load_cost(a));
     co_return m_->mem().read_value<std::uint32_t>(a, coord_);
   }
@@ -180,6 +228,7 @@ public:
   /// Listing 1 "direct writes" idiom: fully unrolled load/store pairs).
   /// Cost follows the Table I calibration; data commits on completion.
   sim::Op<void> direct_write_block(arch::Addr dst, arch::Addr src, std::uint32_t bytes) {
+    auto ph = phase(trace::Phase::Comm, "direct-write");
     const arch::CoreCoord target = owner_of(dst);
     const std::uint32_t words = (bytes + 3) / 4;
     co_await compute(m_->mesh().direct_copy_cycles(coord_, target, words));
@@ -192,7 +241,8 @@ public:
   /// flag-polling loops in the paper's listings).
   template <typename Pred>
   sim::Op<void> wait_u32(arch::Addr a, Pred pred) {
-    return m_->mem().wait_u32(a, coord_, pred);
+    auto ph = phase(trace::Phase::Sync, "flag-wait");
+    co_await m_->mem().wait_u32(a, coord_, pred);
   }
   sim::Op<void> wait_u32_ge(arch::Addr a, std::uint32_t v) {
     return wait_u32(a, [v](std::uint32_t x) { return x >= v; });
@@ -204,19 +254,22 @@ public:
   // ---- DMA ----------------------------------------------------------------
   /// e_dma_set_desc: charge the descriptor-construction cost. The C++
   /// descriptor object is built by the caller (dma::DmaDescriptor helpers).
-  [[nodiscard]] sim::Delay dma_set_desc() noexcept {
-    return compute(timing().dma_set_desc_cycles);
+  [[nodiscard]] sim::Delay dma_set_desc() {
+    return timed(trace::Phase::Comm, "dma-setup", timing().dma_set_desc_cycles);
   }
   /// e_dma_start: charge the start cost, then kick the channel.
   sim::Op<void> dma_start(unsigned chan, const dma::DmaDescriptor& d) {
     check_chan(chan);
+    auto ph = phase(trace::Phase::Comm, "dma-start");
     co_await compute(timing().dma_start_cycles);
     m_->core(coord_).dma[chan].start(d);
   }
-  /// e_dma_wait: block until the channel is idle.
+  /// e_dma_wait: block until the channel is idle. (check_chan stays in the
+  /// non-coroutine wrapper so a bad channel throws at the call, not at the
+  /// co_await.)
   sim::Op<void> dma_wait(unsigned chan) {
     check_chan(chan);
-    return m_->core(coord_).dma[chan].wait();
+    return dma_wait_impl(chan);
   }
   [[nodiscard]] bool dma_busy(unsigned chan) {
     check_chan(chan);
@@ -233,6 +286,7 @@ public:
   /// Workgroup barrier (e_barrier): members post arrival to the group root;
   /// the root releases everyone by bumping their release generation.
   sim::Op<void> barrier() {
+    auto ph = phase(trace::Phase::Sync, "barrier");
     const arch::CoreCoord root = group_.origin;
     const std::uint32_t gen = ++barrier_gen_;
     const unsigned n = group_.size();
@@ -256,6 +310,7 @@ public:
   /// Hardware mutex: atomic TESTSET round trip on the word at `a`
   /// (which lives in some core's scratchpad, per the SDK's workgroup mutex).
   sim::Op<void> mutex_lock(arch::Addr a) {
+    auto ph = phase(trace::Phase::Sync, "mutex-lock");
     const arch::CoreCoord owner = owner_of(a);
     const sim::Cycles cost =
         timing().mutex_testset_base_cycles +
@@ -274,11 +329,26 @@ public:
     }
   }
   sim::Op<void> mutex_unlock(arch::Addr a) {
+    auto ph = phase(trace::Phase::Sync, "mutex-unlock");
     co_await compute(timing().remote_store_issue_cycles);
     m_->mem().write_value<std::uint32_t>(a, 0, coord_);
   }
 
 private:
+  /// A fixed-span delay, recorded as a phase span at issue time (safe: the
+  /// issuing core resumes exactly at the span's end).
+  [[nodiscard]] sim::Delay timed(trace::Phase p, std::string_view name, sim::Cycles c) {
+    if (trace_depth_ == 0 && c > 0) {
+      if (auto* t = m_->tracer()) t->core_span(coord_, p, name, now(), now() + c);
+    }
+    return sim::delay(m_->engine(), c);
+  }
+
+  sim::Op<void> dma_wait_impl(unsigned chan) {
+    auto ph = phase(trace::Phase::DmaWait, "dma-wait");
+    co_await m_->core(coord_).dma[chan].wait();
+  }
+
   [[nodiscard]] arch::CoreCoord owner_of(arch::Addr a) const {
     if (arch::AddressMap::is_local_alias(a)) return coord_;
     if (auto c = m_->mem().map().core_of(a)) return *c;
@@ -322,6 +392,7 @@ private:
   arch::CoreCoord coord_;
   GroupInfo group_;
   std::uint32_t barrier_gen_ = 0;
+  int trace_depth_ = 0;
   std::vector<std::byte> buffer_;
 };
 

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "arch/coords.hpp"
@@ -23,15 +24,18 @@
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "sim/wait.hpp"
+#include "trace/tracer.hpp"
 
 namespace epi::dma {
 
 class DmaChannel {
 public:
-  DmaChannel(arch::CoreCoord owner, const arch::MachineConfig& cfg, sim::Engine& engine,
-             mem::MemorySystem& mem, noc::MeshNetwork& mesh, noc::ELink& elink_write,
-             noc::ELink& elink_read)
+  DmaChannel(arch::CoreCoord owner, unsigned index, const arch::MachineConfig& cfg,
+             sim::Engine& engine, mem::MemorySystem& mem, noc::MeshNetwork& mesh,
+             noc::ELink& elink_write, noc::ELink& elink_read)
       : owner_(owner),
+        index_(index),
+        name_("dma" + std::to_string(index) + "@" + arch::to_string(owner)),
         timing_(&cfg.timing),
         model_bank_conflicts_(cfg.model_bank_conflicts),
         engine_(&engine),
@@ -59,7 +63,7 @@ public:
       chain_.back().chain = nullptr;
       if (chain_.size() > 64) throw std::logic_error("DMA descriptor chain too long (cycle?)");
     }
-    process_ = sim::spawn(*engine_, run_chain());
+    process_ = sim::spawn(*engine_, run_chain(), 0, name_);
   }
 
   /// e_dma_wait(): suspend until the channel is idle.
@@ -70,13 +74,28 @@ public:
 
   [[nodiscard]] std::uint64_t bytes_moved() const noexcept { return bytes_moved_; }
 
+  /// Attach (or detach, with nullptr) a tracer; chain/descriptor spans and
+  /// per-chunk commit instants land on this channel's own track.
+  void set_trace(trace::Tracer* t) {
+    trace_ = t;
+    trace_track_ = t != nullptr ? t->dma_track(owner_, index_) : 0;
+  }
+
 private:
   sim::Op<void> run_chain() {
+    if (trace_ != nullptr) {
+      trace_->begin(trace_track_, trace::Phase::Comm, "chain", engine_->now());
+    }
     co_await sim::delay(*engine_, timing_->dma_channel_latency_cycles);
     for (std::size_t i = 0; i < chain_.size(); ++i) {
       if (i > 0) co_await sim::delay(*engine_, timing_->dma_chain_latency_cycles);
+      if (trace_ != nullptr) {
+        trace_->begin(trace_track_, trace::Phase::Comm, "descriptor", engine_->now());
+      }
       co_await run_descriptor(chain_[i]);
+      if (trace_ != nullptr) trace_->end(trace_track_, engine_->now());
     }
+    if (trace_ != nullptr) trace_->end(trace_track_, engine_->now());
     busy_ = false;
     done_.notify_all();
   }
@@ -183,10 +202,15 @@ private:
       mem_->copy(dgl, s, esz, owner_);
     }
     bytes_moved_ += bytes;
+    if (trace_ != nullptr) {
+      trace_->dma_chunk(trace_track_, owner_, bytes, engine_->now());
+    }
     chunk.clear();
   }
 
   arch::CoreCoord owner_;
+  unsigned index_;
+  std::string name_;
   const arch::TimingParams* timing_;
   bool model_bank_conflicts_ = false;
   sim::Engine* engine_;
@@ -199,6 +223,8 @@ private:
   sim::Process process_;
   bool busy_ = false;
   std::uint64_t bytes_moved_ = 0;
+  trace::Tracer* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace epi::dma

@@ -60,7 +60,8 @@ public:
     for (auto& ctx : ctxs_) {
       m_->mem().write_value<std::uint32_t>(
           ctx->my_global(device::CoreCtx::kStatusOffset), 0, ctx->coord());
-      procs_.push_back(sim::spawn(m_->engine(), run_kernel(*ctx)));
+      procs_.push_back(sim::spawn(m_->engine(), run_kernel(*ctx), 0,
+                                  "core " + arch::to_string(ctx->coord())));
     }
   }
 
@@ -77,14 +78,15 @@ public:
     while (!done()) {
       for (const auto& p : procs_) p.rethrow_if_error();
       if (!m_->engine().step()) {
-        throw sim::DeadlockError(m_->engine().live_processes());
+        throw sim::DeadlockError(m_->engine().live_processes(),
+                                 m_->engine().live_process_names());
       }
     }
     for (const auto& p : procs_) p.rethrow_if_error();
     // Waiting for kernel completion is the host's synchronisation point:
     // result readback afterwards is ordered, not a data race. The host
     // issues memory traffic as (0,0).
-    if (auto* h = m_->mem().hook()) h->on_sync({0, 0}, m_->engine().now());
+    for (auto* h : m_->mem().hooks()) h->on_sync({0, 0}, m_->engine().now());
   }
 
   /// start() + wait(), returning elapsed device cycles.

@@ -17,6 +17,7 @@
 #include "noc/elink.hpp"
 #include "noc/mesh.hpp"
 #include "sim/engine.hpp"
+#include "trace/tracer.hpp"
 
 namespace epi::machine {
 
@@ -74,8 +75,8 @@ public:
   struct Core {
     Core(arch::CoreCoord c, Machine& m)
         : coord(c),
-          dma{{c, m.cfg_, m.engine_, m.mem_, m.mesh_, m.elink_write_, m.elink_read_},
-              {c, m.cfg_, m.engine_, m.mem_, m.mesh_, m.elink_write_, m.elink_read_}},
+          dma{{c, 0, m.cfg_, m.engine_, m.mem_, m.mesh_, m.elink_write_, m.elink_read_},
+              {c, 1, m.cfg_, m.engine_, m.mem_, m.mesh_, m.elink_write_, m.elink_read_}},
           ctimer{CTimer(m.engine_), CTimer(m.engine_)} {}
     arch::CoreCoord coord;
     dma::DmaChannel dma[2];
@@ -100,15 +101,47 @@ public:
   lint::MemSanitizer& enable_sanitizer() {
     if (!sanitizer_) {
       sanitizer_ = std::make_unique<lint::MemSanitizer>();
-      mem_.set_hook(sanitizer_.get());
+      mem_.add_hook(sanitizer_.get());
     }
     return *sanitizer_;
   }
   void disable_sanitizer() noexcept {
-    mem_.set_hook(nullptr);
+    mem_.remove_hook(sanitizer_.get());
     sanitizer_.reset();
   }
   [[nodiscard]] lint::MemSanitizer* sanitizer() noexcept { return sanitizer_.get(); }
+
+  // ---- tracing -------------------------------------------------------------
+  /// Attach an epi-trace Tracer to every instrumented layer (memory hooks,
+  /// mesh links, both eLinks, all DMA channels, core phase spans). Idempotent;
+  /// composes with the sanitizer. Returns the (owned) tracer.
+  trace::Tracer& enable_tracing() {
+    if (!tracer_) {
+      tracer_ = std::make_unique<trace::Tracer>(cfg_.dims);
+      mem_.add_hook(tracer_.get());
+      mesh_.set_trace(tracer_.get());
+      elink_write_.set_trace(tracer_.get(), trace::ElinkKind::Write);
+      elink_read_.set_trace(tracer_.get(), trace::ElinkKind::Read);
+      for (auto& core : cores_) {
+        core.dma[0].set_trace(tracer_.get());
+        core.dma[1].set_trace(tracer_.get());
+      }
+    }
+    return *tracer_;
+  }
+  void disable_tracing() noexcept {
+    if (!tracer_) return;
+    mem_.remove_hook(tracer_.get());
+    mesh_.set_trace(nullptr);
+    elink_write_.set_trace(nullptr, trace::ElinkKind::Write);
+    elink_read_.set_trace(nullptr, trace::ElinkKind::Read);
+    for (auto& core : cores_) {
+      core.dma[0].set_trace(nullptr);
+      core.dma[1].set_trace(nullptr);
+    }
+    tracer_.reset();
+  }
+  [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
 
 private:
   arch::MachineConfig cfg_;
@@ -119,6 +152,7 @@ private:
   noc::ELink elink_read_;
   std::deque<Core> cores_;  // deque: Core is immovable (owns DmaChannels)
   std::unique_ptr<lint::MemSanitizer> sanitizer_;
+  std::unique_ptr<trace::Tracer> tracer_;
 };
 
 }  // namespace epi::machine

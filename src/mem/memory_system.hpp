@@ -6,6 +6,7 @@
 // registered watches, which is how flag-spin synchronisation (the idiom in
 // the paper's Listings 1 and 2) is modelled without polling storms.
 
+#include <algorithm>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -74,13 +75,14 @@ public:
     auto dst = resolve(a, src.size(), issuer);
     std::memcpy(dst.data(), src.data(), src.size());
     const arch::Addr ca = canonical(a, issuer);
-    if (hook_) hook_->on_write(ca, src.size(), issuer, engine_->now());
+    for (MemoryHook* h : hooks_) h->on_write(ca, src.size(), issuer, engine_->now());
     notify_watches(ca, static_cast<std::uint32_t>(src.size()));
   }
   void read_bytes(arch::Addr a, std::span<std::byte> dst, arch::CoreCoord issuer) {
     auto src = resolve(a, dst.size(), issuer);
     std::memcpy(dst.data(), src.data(), dst.size());
-    if (hook_) hook_->on_read(canonical(a, issuer), dst.size(), issuer, engine_->now());
+    const arch::Addr ca = canonical(a, issuer);
+    for (MemoryHook* h : hooks_) h->on_read(ca, dst.size(), issuer, engine_->now());
   }
 
   template <typename T>
@@ -102,9 +104,12 @@ public:
     auto d = resolve(dst, n, issuer);
     std::memmove(d.data(), s.data(), n);
     const arch::Addr cd = canonical(dst, issuer);
-    if (hook_) {
-      hook_->on_read(canonical(src, issuer), n, issuer, engine_->now());
-      hook_->on_write(cd, n, issuer, engine_->now());
+    if (!hooks_.empty()) {
+      const arch::Addr cs = canonical(src, issuer);
+      for (MemoryHook* h : hooks_) {
+        h->on_read(cs, n, issuer, engine_->now());
+        h->on_write(cd, n, issuer, engine_->now());
+      }
     }
     notify_watches(cd, static_cast<std::uint32_t>(n));
   }
@@ -121,7 +126,7 @@ public:
     while (!pred(read_u32_raw(a, issuer))) {
       co_await WatchAwaiter{*this, canonical(a, issuer)};
     }
-    if (hook_) hook_->on_sync(issuer, engine_->now());
+    for (MemoryHook* h : hooks_) h->on_sync(issuer, engine_->now());
   }
 
   /// A synchronising read (e.g. a mutex TESTSET probe): functionally a plain
@@ -129,15 +134,27 @@ public:
   /// read, so the sanitizer treats subsequent remote data as ordered.
   [[nodiscard]] std::uint32_t read_u32_acquire(arch::Addr a, arch::CoreCoord issuer) {
     const std::uint32_t v = read_u32_raw(a, issuer);
-    if (hook_) hook_->on_sync(issuer, engine_->now());
+    for (MemoryHook* h : hooks_) h->on_sync(issuer, engine_->now());
     return v;
   }
 
   [[nodiscard]] std::size_t active_watches() const noexcept { return watches_.size(); }
 
-  /// Install (or clear, with nullptr) the traffic observer. Not owned.
-  void set_hook(MemoryHook* hook) noexcept { hook_ = hook; }
-  [[nodiscard]] MemoryHook* hook() const noexcept { return hook_; }
+  /// Attach a traffic observer. Hooks compose: every attached hook sees
+  /// every access, in attachment order (sanitizer + tracer can coexist).
+  /// Hooks are not owned; adding an already-attached hook is a no-op.
+  void add_hook(MemoryHook* hook) {
+    if (hook == nullptr) return;
+    if (std::find(hooks_.begin(), hooks_.end(), hook) == hooks_.end()) {
+      hooks_.push_back(hook);
+    }
+  }
+  void remove_hook(MemoryHook* hook) noexcept {
+    hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hook), hooks_.end());
+  }
+  [[nodiscard]] const std::vector<MemoryHook*>& hooks() const noexcept {
+    return hooks_;
+  }
 
 private:
   struct Watch {
@@ -199,7 +216,7 @@ private:
   std::vector<LocalMemory> locals_;
   std::vector<std::byte> external_;
   std::vector<Watch> watches_;
-  MemoryHook* hook_ = nullptr;
+  std::vector<MemoryHook*> hooks_;
 };
 
 }  // namespace epi::mem

@@ -34,6 +34,7 @@
 #include "arch/coords.hpp"
 #include "arch/timing.hpp"
 #include "sim/engine.hpp"
+#include "trace/tracer.hpp"
 
 namespace epi::noc {
 
@@ -61,7 +62,8 @@ public:
       std::uint32_t bytes;
       [[nodiscard]] bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        link.fifos_[link.dims_.index_of(c)].push_back(Request{bytes, h});
+        link.fifos_[link.dims_.index_of(c)].push_back(
+            Request{bytes, link.engine_->now(), h});
         ++link.pending_;
         if (!link.pumping_) {
           link.pumping_ = true;
@@ -78,9 +80,17 @@ public:
   }
   [[nodiscard]] std::uint64_t total_bytes_served() const noexcept { return total_served_; }
 
+  /// Attach (or detach, with nullptr) a tracer; every grant is reported as
+  /// an `elink_txn` span carrying the requester and its queueing stall.
+  void set_trace(trace::Tracer* t, trace::ElinkKind kind) noexcept {
+    trace_ = t;
+    trace_kind_ = kind;
+  }
+
 private:
   struct Request {
     std::uint32_t bytes;
+    sim::Cycles enqueued;
     std::coroutine_handle<> h;
   };
 
@@ -103,6 +113,10 @@ private:
     total_served_ += r.bytes;
 
     const sim::Cycles now = engine_->now();
+    if (trace_ != nullptr) {
+      trace_->elink_txn(trace_kind_, dims_.coord_of(winner), r.bytes, r.enqueued,
+                        now, now + occupancy);
+    }
     // The requester observes link occupancy plus the glue-logic latency;
     // the link itself frees after the occupancy (latency is pipelined).
     engine_->schedule_at(now + occupancy + timing_->elink_txn_latency_cycles, r.h);
@@ -199,6 +213,8 @@ private:
   std::uint64_t total_served_ = 0;
   std::size_t pending_ = 0;
   bool pumping_ = false;
+  trace::Tracer* trace_ = nullptr;
+  trace::ElinkKind trace_kind_ = trace::ElinkKind::Write;
 };
 
 }  // namespace epi::noc

@@ -12,11 +12,13 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "arch/coords.hpp"
 #include "arch/timing.hpp"
 #include "sim/engine.hpp"
+#include "trace/tracer.hpp"
 
 namespace epi::noc {
 
@@ -30,6 +32,10 @@ public:
         link_free_(static_cast<std::size_t>(dims.core_count()) * 4, 0) {}
 
   [[nodiscard]] arch::MeshDims dims() const noexcept { return dims_; }
+
+  /// Attach (or detach, with nullptr) a tracer; each reserved burst emits a
+  /// per-directed-link occupancy span plus per-link byte counters.
+  void set_trace(trace::Tracer* t) noexcept { trace_ = t; }
 
   /// Cycles charged to a core that copies `words` 32-bit values into a
   /// remote core's memory with CPU load/store pairs (Listing 1 style).
@@ -63,21 +69,30 @@ public:
     // Collect the directed links of the XY route (column-first, then row,
     // matching eMesh dimension-ordered routing).
     path_scratch_.clear();
+    if (trace_ != nullptr) hop_scratch_.clear();
     arch::CoreCoord cur = src;
     while (cur.col != dst.col) {
       const arch::Dir d = cur.col < dst.col ? arch::Dir::East : arch::Dir::West;
       path_scratch_.push_back(link_index(cur, d));
+      if (trace_ != nullptr) hop_scratch_.push_back({cur, d});
       cur.col += cur.col < dst.col ? 1 : -1u;
     }
     while (cur.row != dst.row) {
       const arch::Dir d = cur.row < dst.row ? arch::Dir::South : arch::Dir::North;
       path_scratch_.push_back(link_index(cur, d));
+      if (trace_ != nullptr) hop_scratch_.push_back({cur, d});
       cur.row += cur.row < dst.row ? 1 : -1u;
     }
 
     sim::Cycles start = earliest;
     for (auto li : path_scratch_) start = std::max(start, link_free_[li]);
     for (auto li : path_scratch_) link_free_[li] = start + occupancy;
+    if (trace_ != nullptr) {
+      for (const auto& [router, dir] : hop_scratch_) {
+        trace_->mesh_link(router, dir, static_cast<std::uint32_t>(bytes), start,
+                          start + occupancy);
+      }
+    }
 
     const auto hops = static_cast<double>(path_scratch_.size());
     return start + occupancy +
@@ -94,6 +109,8 @@ private:
   sim::Engine* engine_;
   std::vector<sim::Cycles> link_free_;
   std::vector<std::size_t> path_scratch_;
+  std::vector<std::pair<arch::CoreCoord, arch::Dir>> hop_scratch_;
+  trace::Tracer* trace_ = nullptr;
 };
 
 }  // namespace epi::noc

@@ -11,8 +11,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace epi::sim {
@@ -24,14 +26,36 @@ using Cycles = std::uint64_t;
 /// Thrown by Engine::run() when the event queue drains while coroutine
 /// processes are still alive (i.e. suspended on a wait that nothing will
 /// ever satisfy). This catches synchronisation bugs in device kernels --
-/// the simulated analogue of a hung flag-spin on real silicon.
+/// the simulated analogue of a hung flag-spin on real silicon. The message
+/// names the stuck processes (spawn() attaches the names) so the hang is
+/// attributable to a specific core or DMA channel.
 class DeadlockError : public std::runtime_error {
 public:
-  explicit DeadlockError(std::size_t stuck)
-      : std::runtime_error("simulation deadlock: " + std::to_string(stuck) +
-                           " process(es) suspended with an empty event queue"),
-        stuck_processes(stuck) {}
+  explicit DeadlockError(std::size_t stuck, std::vector<std::string> names = {})
+      : std::runtime_error(message(stuck, names)),
+        stuck_processes(stuck),
+        stuck_names(std::move(names)) {}
   std::size_t stuck_processes;
+  std::vector<std::string> stuck_names;
+
+private:
+  static std::string message(std::size_t stuck, const std::vector<std::string>& names) {
+    std::string m = "simulation deadlock: " + std::to_string(stuck) +
+                    " process(es) suspended with an empty event queue";
+    if (!names.empty()) {
+      static constexpr std::size_t kShown = 8;
+      m += " [stuck: ";
+      for (std::size_t i = 0; i < names.size() && i < kShown; ++i) {
+        if (i > 0) m += ", ";
+        m += names[i];
+      }
+      if (names.size() > kShown) {
+        m += ", +" + std::to_string(names.size() - kShown) + " more";
+      }
+      m += "]";
+    }
+    return m;
+  }
 };
 
 class Engine {
@@ -58,11 +82,11 @@ public:
     queue_.push(Event{t < now_ ? now_ : t, seq_++, {}, std::move(fn)});
   }
 
-  /// Drain the event queue. Throws DeadlockError if processes remain
-  /// suspended when the queue empties.
+  /// Drain the event queue. Throws DeadlockError (naming the stuck
+  /// processes) if any remain suspended when the queue empties.
   void run() {
     drain(kNoLimit);
-    if (live_processes_ > 0) throw DeadlockError(live_processes_);
+    if (!live_.empty()) throw DeadlockError(live_.size(), live_process_names());
   }
 
   /// Run until simulated time would exceed `t` (events at exactly `t` run).
@@ -86,11 +110,27 @@ public:
 
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t events_processed() const noexcept { return processed_; }
-  [[nodiscard]] std::size_t live_processes() const noexcept { return live_processes_; }
+  [[nodiscard]] std::size_t live_processes() const noexcept { return live_.size(); }
 
-  // Process bookkeeping (used by spawn()/Process internals).
-  void note_process_started() noexcept { ++live_processes_; }
-  void note_process_finished() noexcept { --live_processes_; }
+  /// Human-readable names of every live (unfinished) process, in spawn
+  /// order. Processes spawned without a name report as "<unnamed>".
+  [[nodiscard]] std::vector<std::string> live_process_names() const {
+    std::vector<std::string> out;
+    out.reserve(live_.size());
+    for (const auto& [token, name] : live_) {
+      out.push_back(name.empty() ? "<unnamed>" : name);
+    }
+    return out;
+  }
+
+  // Process bookkeeping (used by spawn()/Process internals). The returned
+  // token must be handed back to note_process_finished.
+  [[nodiscard]] std::uint64_t note_process_started(std::string name = {}) {
+    const std::uint64_t token = next_token_++;
+    live_.emplace(token, std::move(name));
+    return token;
+  }
+  void note_process_finished(std::uint64_t token) noexcept { live_.erase(token); }
 
 private:
   static constexpr Cycles kNoLimit = ~Cycles{0};
@@ -127,7 +167,10 @@ private:
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t processed_ = 0;
-  std::size_t live_processes_ = 0;
+  // Live root processes, keyed by start token (std::map: deterministic,
+  // spawn-ordered iteration for deadlock diagnostics).
+  std::map<std::uint64_t, std::string> live_;
+  std::uint64_t next_token_ = 0;
 };
 
 /// Awaitable: suspend the current process for `d` cycles.

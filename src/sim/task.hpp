@@ -13,6 +13,7 @@
 #include <coroutine>
 #include <exception>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "sim/engine.hpp"
@@ -160,6 +161,7 @@ namespace detail {
 struct RootTask {
   struct promise_type {
     Engine* engine = nullptr;
+    std::uint64_t token = 0;
     std::shared_ptr<ProcessState> st;
 
     RootTask get_return_object() noexcept {
@@ -178,7 +180,7 @@ struct RootTask {
       }
     }
     ~promise_type() {
-      if (engine) engine->note_process_finished();
+      if (engine) engine->note_process_finished(token);
     }
   };
   std::coroutine_handle<promise_type> h;
@@ -190,12 +192,15 @@ inline RootTask root_task(Op<void> op) { co_await std::move(op); }
 
 /// Launch `op` as a detached process, scheduled to start `start_delay`
 /// cycles from now. The returned handle reports completion and errors.
-inline Process spawn(Engine& engine, Op<void> op, Cycles start_delay = 0) {
+/// `name` is a human-readable label ("core (2,3)", "dma0@(0,1)", "host")
+/// surfaced by DeadlockError when the process hangs.
+inline Process spawn(Engine& engine, Op<void> op, Cycles start_delay = 0,
+                     std::string name = {}) {
   auto st = std::make_shared<ProcessState>();
   detail::RootTask t = detail::root_task(std::move(op));
   t.h.promise().engine = &engine;
+  t.h.promise().token = engine.note_process_started(std::move(name));
   t.h.promise().st = st;
-  engine.note_process_started();
   engine.schedule_in(start_delay, t.h);
   return Process(st);
 }

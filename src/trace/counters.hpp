@@ -1,0 +1,89 @@
+#pragma once
+// Named metric registry for the trace subsystem.
+//
+// A counter is either Monotonic (a running total that may only grow: bytes
+// through a link, flops retired, stall cycles accumulated) or a Gauge (a
+// level that moves both ways: queue depth, link occupancy). Counters are
+// registered once by name, updated by integer id on the hot path, and are
+// queryable at any simulated time -- the Tracer additionally records a
+// sample event on every change so exporters can reconstruct the full time
+// series.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace epi::trace {
+
+class Counters {
+public:
+  enum class Kind : std::uint8_t { Monotonic, Gauge };
+  using Id = std::uint32_t;
+  static constexpr Id kNone = ~Id{0};
+
+  /// Register (or look up) a counter. Re-defining an existing name with the
+  /// same kind returns the existing id; a kind mismatch is a logic error.
+  Id define(std::string name, Kind kind) {
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+      if (entries_[it->second].kind != kind) {
+        throw std::logic_error("counter '" + name + "' redefined with a different kind");
+      }
+      return it->second;
+    }
+    const Id id = static_cast<Id>(entries_.size());
+    entries_.push_back(Entry{name, 0.0, kind});
+    index_.emplace(std::move(name), id);
+    return id;
+  }
+
+  /// Increment by `delta`. Monotonic counters reject negative deltas.
+  void add(Id id, double delta) {
+    Entry& e = entries_.at(id);
+    if (e.kind == Kind::Monotonic && delta < 0.0) {
+      throw std::logic_error("monotonic counter '" + e.name + "' decremented");
+    }
+    e.value += delta;
+  }
+
+  /// Set an absolute level. Monotonic counters may only move upward.
+  void set(Id id, double value) {
+    Entry& e = entries_.at(id);
+    if (e.kind == Kind::Monotonic && value < e.value) {
+      throw std::logic_error("monotonic counter '" + e.name + "' decremented");
+    }
+    e.value = value;
+  }
+
+  [[nodiscard]] double value(Id id) const { return entries_.at(id).value; }
+  [[nodiscard]] const std::string& name(Id id) const { return entries_.at(id).name; }
+  [[nodiscard]] Kind kind(Id id) const { return entries_.at(id).kind; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Id of a counter by name, or kNone.
+  [[nodiscard]] Id find(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? kNone : it->second;
+  }
+  /// Current value by name (0.0 for unknown counters).
+  [[nodiscard]] double value(std::string_view name) const {
+    const Id id = find(name);
+    return id == kNone ? 0.0 : entries_[id].value;
+  }
+
+private:
+  struct Entry {
+    std::string name;
+    double value = 0.0;
+    Kind kind = Kind::Monotonic;
+  };
+
+  std::vector<Entry> entries_;  // definition order: deterministic export
+  std::unordered_map<std::string, Id> index_;
+};
+
+}  // namespace epi::trace

@@ -1,0 +1,42 @@
+#pragma once
+// Exporters for recorded traces:
+//
+//   * write_chrome_trace  -- Chrome/Perfetto "trace event" JSON. Open the
+//     file at ui.perfetto.dev (or chrome://tracing). Timestamps are engine
+//     cycles written into the `ts` microsecond field, so the viewer's "us"
+//     readout is really cycles; at the paper's 600 MHz, 600 "us" = 1 real us.
+//   * write_counters_csv  -- `name,kind,value` rows in definition order.
+//   * write_summary       -- terminal top-N counter table plus the profiler's
+//     per-core cycle-attribution breakdown.
+//
+// All exporters iterate creation-ordered vectors (never hash maps), so for a
+// deterministic simulation run the bytes written are identical run over run;
+// tests assert this.
+
+#include <iosfwd>
+#include <string>
+
+namespace epi::trace {
+
+class Tracer;
+class Counters;
+struct ProfileReport;
+
+/// Chrome trace-event JSON ("traceEvents" array form) for the whole trace.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// All counters as CSV: header then `name,kind,value` per counter.
+void write_counters_csv(std::ostream& os, const Counters& counters);
+
+/// Human-readable summary: aggregate counters, top-N per-entity counters,
+/// and (when `report` is non-null) the per-core attribution table.
+void write_summary(std::ostream& os, const Tracer& tracer,
+                   const ProfileReport* report = nullptr, unsigned top_n = 8);
+
+/// Format a counter/metric value: integers exactly, doubles round-tripped.
+[[nodiscard]] std::string format_number(double v);
+
+/// JSON-escape `s` (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace epi::trace

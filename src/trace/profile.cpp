@@ -1,0 +1,110 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+
+#include "trace/tracer.hpp"
+
+namespace epi::trace {
+
+namespace {
+
+double fraction_of(const ProfileReport& r, sim::Cycles CorePhaseBreakdown::* field) {
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& c : r.cores) {
+    num += static_cast<double>(c.*field);
+    den += static_cast<double>(c.total);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+double ProfileReport::compute_fraction() const noexcept {
+  return fraction_of(*this, &CorePhaseBreakdown::compute);
+}
+double ProfileReport::comm_fraction() const noexcept {
+  return fraction_of(*this, &CorePhaseBreakdown::comm);
+}
+double ProfileReport::dma_wait_fraction() const noexcept {
+  return fraction_of(*this, &CorePhaseBreakdown::dma_wait);
+}
+double ProfileReport::sync_fraction() const noexcept {
+  return fraction_of(*this, &CorePhaseBreakdown::sync);
+}
+
+ProfileReport attribute(const Tracer& tracer, sim::Cycles begin, sim::Cycles end) {
+  ProfileReport report;
+  report.window_begin = begin;
+  report.window_end = end;
+  if (end <= begin) return report;
+
+  const auto& tracks = tracer.tracks();
+
+  struct TrackState {
+    bool open = false;
+    Phase phase = Phase::Other;
+    sim::Cycles start = 0;
+  };
+  std::vector<TrackState> state(tracks.size());
+  std::vector<CorePhaseBreakdown> per_track(tracks.size());
+
+  const auto charge = [&](std::uint32_t tr, Phase p, sim::Cycles b, sim::Cycles e) {
+    b = std::max(b, begin);
+    e = std::min(e, end);
+    if (e <= b) return;
+    const sim::Cycles d = e - b;
+    auto& row = per_track[tr];
+    switch (p) {
+      case Phase::Compute: row.compute += d; break;
+      case Phase::Comm: row.comm += d; break;
+      case Phase::DmaWait: row.dma_wait += d; break;
+      case Phase::Sync: row.sync += d; break;
+      case Phase::Other: break;  // unattributed by construction
+    }
+  };
+
+  for (const auto& ev : tracer.events()) {
+    if (ev.type != Event::Type::Begin && ev.type != Event::Type::End) continue;
+    if (ev.track >= tracks.size() || !tracks[ev.track].is_core) continue;
+    auto& st = state[ev.track];
+    if (ev.type == Event::Type::Begin) {
+      // Depth-0 recording means spans never nest; a Begin while open would
+      // be a recording bug -- close the stale span defensively.
+      if (st.open) charge(ev.track, st.phase, st.start, ev.t);
+      st.open = true;
+      st.phase = ev.phase;
+      st.start = ev.t;
+    } else {
+      if (st.open) {
+        charge(ev.track, st.phase, st.start, ev.t);
+        st.open = false;
+      }
+    }
+  }
+  // Spans still open at the end of the trace run to the window edge.
+  for (std::uint32_t tr = 0; tr < tracks.size(); ++tr) {
+    if (state[tr].open) charge(tr, state[tr].phase, state[tr].start, end);
+  }
+
+  // Emit rows in mesh row-major order for deterministic, readable reports.
+  const arch::MeshDims dims = tracer.dims();
+  std::vector<std::uint32_t> core_of_index(dims.core_count(), ~std::uint32_t{0});
+  for (std::uint32_t tr = 0; tr < tracks.size(); ++tr) {
+    if (tracks[tr].is_core) core_of_index[dims.index_of(tracks[tr].coord)] = tr;
+  }
+  const sim::Cycles window = end - begin;
+  for (unsigned i = 0; i < dims.core_count(); ++i) {
+    const std::uint32_t tr = core_of_index[i];
+    if (tr == ~std::uint32_t{0}) continue;
+    CorePhaseBreakdown row = per_track[tr];
+    row.coord = tracks[tr].coord;
+    row.total = window;
+    row.other = static_cast<std::int64_t>(window) -
+                static_cast<std::int64_t>(row.attributed());
+    report.cores.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace epi::trace

@@ -1,0 +1,66 @@
+#pragma once
+// Cycle-attribution profiler: folds a Tracer's core-track spans into
+// per-core compute / comm / dma-wait / sync breakdowns over a time window.
+//
+// Because device::CoreCtx records only depth-0 (outermost) phase spans, a
+// core's spans never overlap, so the four phase buckets plus the residual
+// "other" bucket partition the window exactly:
+//
+//   compute + comm + dma_wait + sync + other == window length   (per core)
+//
+// which the trace tests assert. "other" is genuinely unattributed time --
+// a core idling between operations with no phase open (e.g. after its last
+// kernel statement retired). The aggregate fractions are what EXPERIMENTS.md
+// compares against the paper's Table VI transfer share.
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/coords.hpp"
+#include "sim/engine.hpp"
+
+namespace epi::trace {
+
+class Tracer;
+
+/// Where one core's cycles went inside the profiled window.
+struct CorePhaseBreakdown {
+  arch::CoreCoord coord{};
+  sim::Cycles compute = 0;
+  sim::Cycles comm = 0;
+  sim::Cycles dma_wait = 0;
+  sim::Cycles sync = 0;
+  std::int64_t other = 0;  // residual; negative would indicate overlap (a bug)
+  sim::Cycles total = 0;   // window length (identical for every core)
+
+  [[nodiscard]] sim::Cycles attributed() const noexcept {
+    return compute + comm + dma_wait + sync;
+  }
+};
+
+struct ProfileReport {
+  sim::Cycles window_begin = 0;
+  sim::Cycles window_end = 0;
+  std::vector<CorePhaseBreakdown> cores;  // mesh row-major order
+
+  [[nodiscard]] sim::Cycles window() const noexcept { return window_end - window_begin; }
+
+  // Aggregate fractions of total core-cycles (sum over cores of the window).
+  [[nodiscard]] double compute_fraction() const noexcept;
+  [[nodiscard]] double comm_fraction() const noexcept;
+  [[nodiscard]] double dma_wait_fraction() const noexcept;
+  [[nodiscard]] double sync_fraction() const noexcept;
+  /// comm + dma-wait combined: the "shared-memory transfer" share the paper
+  /// reports for off-chip matmul (Table VI, ~87 %).
+  [[nodiscard]] double comm_dma_fraction() const noexcept {
+    return comm_fraction() + dma_wait_fraction();
+  }
+};
+
+/// Attribute every core track's spans within [begin, end). Spans straddling
+/// a window edge are clipped; a span still open at `end` is charged up to
+/// `end`. Only cores that appear in the trace get a row.
+[[nodiscard]] ProfileReport attribute(const Tracer& tracer, sim::Cycles begin,
+                                      sim::Cycles end);
+
+}  // namespace epi::trace

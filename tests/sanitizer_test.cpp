@@ -201,9 +201,9 @@ TEST(Sanitizer, RepeatedRacingReadsReportOnce) {
 TEST(Sanitizer, DisableDetaches) {
   host::System sys;
   sys.machine().enable_sanitizer();
-  EXPECT_NE(sys.machine().mem().hook(), nullptr);
+  EXPECT_EQ(sys.machine().mem().hooks().size(), 1u);
   sys.machine().disable_sanitizer();
-  EXPECT_EQ(sys.machine().mem().hook(), nullptr);
+  EXPECT_TRUE(sys.machine().mem().hooks().empty());
   EXPECT_EQ(sys.machine().sanitizer(), nullptr);
 }
 
