@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Simulator performance benchmark: Release build + abl_simperf run, writing
+# machine-readable results to BENCH_simperf.json at the repository root.
+# Run from anywhere:
+#
+#     scripts/bench.sh [extra google-benchmark args...]
+#
+# The committed BENCH_simperf.json is the regression baseline; re-run this
+# script and commit the new file to move it. CI compares fresh results
+# against the committed baseline and warns on a >20% throughput drop in
+# BM_EngineEventThroughput.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== Release build =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "${JOBS}" --target abl_simperf
+
+echo "== abl_simperf (results -> BENCH_simperf.json) =="
+# Debian's libbenchmark is packaged with an unset build type, so the library
+# itself prints a spurious "Library was built as DEBUG" banner to stderr.
+# Our binary *is* a Release build (it refuses to run otherwise -- see the
+# NDEBUG guard in bench/abl_simperf.cpp); drop that one known-bogus line and
+# pass every other stderr line through.
+./build-release/bench/abl_simperf \
+    --benchmark_out=BENCH_simperf.json --benchmark_out_format=json "$@" \
+    2> >(grep -v '^\*\*\*WARNING\*\*\* Library was built as DEBUG' >&2)
+
+echo "Wrote $(pwd)/BENCH_simperf.json"

@@ -15,6 +15,14 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure -j "${JOBS}" "$@"
 
+echo "== Simulator-performance smoke (Release only) =="
+# abl_simperf must only ever run from a Release tree: the binary exits
+# non-zero when built without NDEBUG, so a mis-wired build type fails the
+# sweep loudly here instead of producing garbage numbers.
+./build-release/bench/abl_simperf \
+    --benchmark_filter=BM_EngineEventThroughput --benchmark_min_time=0.05 \
+    --benchmark_out=/dev/null --benchmark_out_format=json
+
 echo "== Sanitized debug build (ASan+UBSan) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DEPI_SANITIZE=ON
 cmake --build build-asan -j "${JOBS}"

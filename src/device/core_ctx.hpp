@@ -24,7 +24,6 @@
 #include <span>
 #include <stdexcept>
 #include <string_view>
-#include <vector>
 
 #include "arch/address_map.hpp"
 #include "dma/descriptor.hpp"
@@ -211,9 +210,7 @@ public:
     }
     auto ph = phase(trace::Phase::Comm, "elink-write");
     co_await m_->elink_write().txn(coord_, bytes);
-    buffer_.resize(bytes);
-    m_->mem().read_bytes(src, std::span<std::byte>(buffer_.data(), bytes), coord_);
-    m_->mem().write_bytes(dst, std::span<const std::byte>(buffer_.data(), bytes), coord_);
+    m_->mem().copy(dst, src, bytes, coord_);
   }
 
   /// Word load; remote loads pay the read-network round trip.
@@ -232,9 +229,7 @@ public:
     const arch::CoreCoord target = owner_of(dst);
     const std::uint32_t words = (bytes + 3) / 4;
     co_await compute(m_->mesh().direct_copy_cycles(coord_, target, words));
-    buffer_.resize(bytes);
-    m_->mem().read_bytes(src, std::span<std::byte>(buffer_.data(), bytes), coord_);
-    m_->mem().write_bytes(dst, std::span<const std::byte>(buffer_.data(), bytes), coord_);
+    m_->mem().copy(dst, src, bytes, coord_);
   }
 
   /// Spin until the word at `a` satisfies `pred` (event-driven; models the
@@ -393,7 +388,6 @@ private:
   GroupInfo group_;
   std::uint32_t barrier_gen_ = 0;
   int trace_depth_ = 0;
-  std::vector<std::byte> buffer_;
 };
 
 /// A device kernel: one coroutine per eCore in the workgroup.

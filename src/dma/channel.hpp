@@ -111,23 +111,39 @@ private:
     arch::Addr src = d.src;
     arch::Addr dst = d.dst;
     std::uint32_t pending = 0;  // elements accumulated into current chunk
-    std::vector<std::pair<arch::Addr, arch::Addr>> chunk;
-    chunk.reserve(chunk_elems);
+    std::vector<Run> chunk;
 
     for (std::uint32_t o = 0; o < d.outer_count; ++o) {
       for (std::uint32_t i = 0; i < d.inner_count; ++i) {
-        chunk.emplace_back(src, dst);
+        // Coalesce elements that extend the previous run contiguously on
+        // both sides into one functional copy. A run never crosses a 1 MB
+        // address window: the window decides how an address resolves
+        // (local alias vs. core vs. external), so crossing one could change
+        // where bytes land relative to the element-at-a-time walk.
+        if (!chunk.empty()) {
+          Run& r = chunk.back();
+          if (r.src + static_cast<arch::Addr>(r.elems) * esz == src &&
+              r.dst + static_cast<arch::Addr>(r.elems) * esz == dst &&
+              ((r.src ^ (src + esz - 1)) >> 20) == 0 &&
+              ((r.dst ^ (dst + esz - 1)) >> 20) == 0) {
+            ++r.elems;
+          } else {
+            chunk.push_back(Run{src, dst, 1});
+          }
+        } else {
+          chunk.push_back(Run{src, dst, 1});
+        }
         src += static_cast<arch::Addr>(d.src_inner_stride);
         dst += static_cast<arch::Addr>(d.dst_inner_stride);
         if (++pending == chunk_elems) {
-          co_await flush_chunk(chunk, esz, route);
+          co_await flush_chunk(chunk, pending, esz, route);
           pending = 0;
         }
       }
       src += static_cast<arch::Addr>(d.src_outer_stride);
       dst += static_cast<arch::Addr>(d.dst_outer_stride);
     }
-    if (pending > 0) co_await flush_chunk(chunk, esz, route);
+    if (pending > 0) co_await flush_chunk(chunk, pending, esz, route);
   }
 
   struct Route {
@@ -158,12 +174,21 @@ private:
     return r;
   }
 
-  sim::Op<void> flush_chunk(std::vector<std::pair<arch::Addr, arch::Addr>>& chunk,
+  /// One coalesced element run: `elems` elements contiguous on both sides.
+  struct Run {
+    arch::Addr src;
+    arch::Addr dst;
+    std::uint32_t elems;
+  };
+
+  sim::Op<void> flush_chunk(std::vector<Run>& chunk, std::uint32_t elems,
                             std::uint32_t esz, Route route) {
-    const std::uint32_t bytes = static_cast<std::uint32_t>(chunk.size()) * esz;
-    // The engine itself issues one transaction per element at 2.4 cycles.
+    const std::uint32_t bytes = elems * esz;
+    // The engine itself issues one transaction per element at 2.4 cycles
+    // (coalescing is a host-side speedup; the modelled cost stays per
+    // element, so completion cycles are unchanged).
     const auto engine_cycles = static_cast<sim::Cycles>(
-        timing_->dma_cycles_per_txn * static_cast<double>(chunk.size()) + 0.5);
+        timing_->dma_cycles_per_txn * static_cast<double>(elems) + 0.5);
     const sim::Cycles t0 = engine_->now();
     sim::Cycles finish = t0 + engine_cycles;
 
@@ -190,16 +215,29 @@ private:
       // drains; concurrent CPU accesses to those banks stall (section IV-B).
       const arch::CoreCoord dst_core =
           route.kind == Route::OnChip ? route.mesh_dst : owner_;
-      const arch::Addr lo = arch::AddressMap::local_offset(chunk.front().second);
-      const arch::Addr hi = arch::AddressMap::local_offset(chunk.back().second);
+      const arch::Addr lo = arch::AddressMap::local_offset(chunk.front().dst);
+      const arch::Addr hi = arch::AddressMap::local_offset(
+          chunk.back().dst + static_cast<arch::Addr>(chunk.back().elems - 1) * esz);
       mem_->local(dst_core).occupy_banks(std::min(lo, hi),
                                          (lo > hi ? lo - hi : hi - lo) + esz, finish);
     }
     if (finish > engine_->now()) co_await sim::delay(*engine_, finish - engine_->now());
 
-    // Commit the data functionally at completion time.
-    for (const auto& [s, dgl] : chunk) {
-      mem_->copy(dgl, s, esz, owner_);
+    // Commit the data functionally at completion time: one copy per run.
+    // An overlapping forward run (|src-dst| smaller than the run) must fall
+    // back to element order so the value propagation matches the hardware's
+    // element-at-a-time walk rather than memmove semantics.
+    for (const Run& r : chunk) {
+      const arch::Addr run_bytes = static_cast<arch::Addr>(r.elems) * esz;
+      const arch::Addr dist = r.src > r.dst ? r.src - r.dst : r.dst - r.src;
+      if (r.elems > 1 && dist != 0 && dist < run_bytes) {
+        for (std::uint32_t e = 0; e < r.elems; ++e) {
+          mem_->copy(r.dst + static_cast<arch::Addr>(e) * esz,
+                     r.src + static_cast<arch::Addr>(e) * esz, esz, owner_);
+        }
+      } else {
+        mem_->copy(r.dst, r.src, run_bytes, owner_);
+      }
     }
     bytes_moved_ += bytes;
     if (trace_ != nullptr) {

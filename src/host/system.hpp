@@ -57,6 +57,8 @@ public:
   void start() {
     if (!kernel_) throw std::logic_error("Workgroup::start without a loaded kernel");
     procs_.clear();
+    finished_ = 0;
+    failed_ = 0;
     for (auto& ctx : ctxs_) {
       m_->mem().write_value<std::uint32_t>(
           ctx->my_global(device::CoreCtx::kStatusOffset), 0, ctx->coord());
@@ -74,9 +76,17 @@ public:
 
   /// Drive the simulation until every core in the group has finished.
   /// Propagates the first kernel exception encountered.
+  ///
+  /// The loop runs once per simulation event, so completion is tracked with
+  /// counters bumped by the kernel wrappers themselves; scanning every
+  /// process handle per step made this loop O(cores x events) and dominated
+  /// large-grid runs. The error rescan only happens once a failure counter
+  /// says there is an error to find, preserving the old throw point exactly.
   void wait() {
-    while (!done()) {
-      for (const auto& p : procs_) p.rethrow_if_error();
+    while (procs_.empty() || finished_ + failed_ < procs_.size()) {
+      if (failed_ > 0) {
+        for (const auto& p : procs_) p.rethrow_if_error();
+      }
       if (!m_->engine().step()) {
         throw sim::DeadlockError(m_->engine().live_processes(),
                                  m_->engine().live_process_names());
@@ -99,11 +109,17 @@ public:
 
 private:
   sim::Op<void> run_kernel(device::CoreCtx& ctx) {
-    co_await kernel_(ctx);
+    try {
+      co_await kernel_(ctx);
+    } catch (...) {
+      ++failed_;
+      throw;
+    }
     // Completion signal: a real kernel's final act is a status store the
     // host (or sibling cores) can observe.
     m_->mem().write_value<std::uint32_t>(ctx.my_global(device::CoreCtx::kStatusOffset), 1,
                                          ctx.coord());
+    ++finished_;
   }
 
   machine::Machine* m_;
@@ -111,6 +127,8 @@ private:
   std::vector<std::unique_ptr<device::CoreCtx>> ctxs_;
   device::KernelFn kernel_;
   std::vector<sim::Process> procs_;
+  std::size_t finished_ = 0;  // kernels completed normally since start()
+  std::size_t failed_ = 0;    // kernels that ended with an exception
 };
 
 class System {

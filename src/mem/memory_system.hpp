@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -157,18 +158,15 @@ public:
   }
 
 private:
-  struct Watch {
-    arch::Addr lo;
-    arch::Addr hi;  // exclusive
-    std::coroutine_handle<> h;
-  };
+  /// Width of a watched location: watches always guard one u32 flag word.
+  static constexpr arch::Addr kWatchBytes = 4;
 
   struct WatchAwaiter {
     MemorySystem& mem;
     arch::Addr addr;
     [[nodiscard]] bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) const {
-      mem.watches_.push_back(Watch{addr, addr + 4, h});
+      mem.watches_.emplace(addr, h);
     }
     void await_resume() const noexcept {}
   };
@@ -190,18 +188,19 @@ private:
     return a;
   }
 
+  /// Wake every watcher whose word overlaps the written range [lo, lo+n).
+  /// The index is ordered by watch address, so a store only visits the
+  /// watchers it can affect -- O(log w + hits) instead of a scan of every
+  /// watcher in the machine on every store. A watch at `w` overlaps iff
+  /// w in (lo - kWatchBytes, lo + n), which is one equal-range walk.
   void notify_watches(arch::Addr lo, std::uint32_t n) {
     if (watches_.empty()) return;
     const arch::Addr hi = lo + n;
-    for (std::size_t i = 0; i < watches_.size();) {
-      const Watch& w = watches_[i];
-      if (w.lo < hi && lo < w.hi) {
-        engine_->schedule_in(1, w.h);  // wake next cycle; watcher re-checks
-        watches_[i] = watches_.back();
-        watches_.pop_back();
-      } else {
-        ++i;
-      }
+    const arch::Addr first = lo >= kWatchBytes - 1 ? lo - (kWatchBytes - 1) : 0;
+    auto it = watches_.lower_bound(first);
+    while (it != watches_.end() && it->first < hi) {
+      engine_->schedule_in(1, it->second);  // wake next cycle; watcher re-checks
+      it = watches_.erase(it);
     }
   }
 
@@ -215,7 +214,10 @@ private:
   sim::Engine* engine_;
   std::vector<LocalMemory> locals_;
   std::vector<std::byte> external_;
-  std::vector<Watch> watches_;
+  // Active watches keyed by watched word address; equal keys keep insertion
+  // order (std::multimap), so wake order within one store is deterministic:
+  // ascending address, FIFO per address.
+  std::multimap<arch::Addr, std::coroutine_handle<>> watches_;
   std::vector<MemoryHook*> hooks_;
 };
 

@@ -49,6 +49,8 @@ public:
         engine_(&engine),
         overhead_(overhead),
         fifos_(dims.core_count()),
+        row_total_(dims.rows, 0),
+        row_west_(dims.rows, 0),
         rr3_(dims.rows, 0),
         rr2_(dims.core_count(), 0) {}
 
@@ -65,6 +67,8 @@ public:
         link.fifos_[link.dims_.index_of(c)].push_back(
             Request{bytes, link.engine_->now(), h});
         ++link.pending_;
+        ++link.row_total_[c.row];
+        if (c.col != link.dims_.cols - 1) ++link.row_west_[c.row];
         if (!link.pumping_) {
           link.pumping_ = true;
           link.engine_->call_at(link.engine_->now(), [&l = link] { l.pump(); });
@@ -103,6 +107,9 @@ private:
     Request r = fifos_[winner].front();
     fifos_[winner].pop_front();
     --pending_;
+    const arch::CoreCoord wc = dims_.coord_of(winner);
+    --row_total_[wc.row];
+    if (wc.col != dims_.cols - 1) --row_west_[wc.row];
 
     const auto occupancy = std::max<sim::Cycles>(
         1, static_cast<sim::Cycles>(static_cast<double>(r.bytes) * overhead_ /
@@ -129,16 +136,22 @@ private:
     return fifos_[dims_.index_of({row, col})].size();
   }
   [[nodiscard]] bool row_stream_nonempty(unsigned row, unsigned below_col) const {
+    // row_west_ counts the row's pending requests west of the exit column,
+    // so the common whole-row-stream query is O(1); a mid-row query only
+    // scans when the row has *any* western traffic.
+    if (row_west_[row] == 0) return false;
+    if (below_col >= dims_.cols - 1) return true;
     for (unsigned c = 0; c < below_col; ++c) {
       if (pending_at(row, c) > 0) return true;
     }
     return false;
   }
   [[nodiscard]] bool south_nonempty(unsigned from_row) const {
+    // Any pending request in row r (exit column or western stream) is
+    // counted in row_total_[r]; one pass over the rows replaces the old
+    // O(rows*cols) fifo scan without changing any grant decision.
     for (unsigned r = from_row; r < dims_.rows; ++r) {
-      if (pending_at(r, dims_.cols - 1) > 0 || row_stream_nonempty(r, dims_.cols - 1)) {
-        return true;
-      }
+      if (row_total_[r] > 0) return true;
     }
     return false;
   }
@@ -207,6 +220,8 @@ private:
   sim::Engine* engine_;
   double overhead_;
   std::vector<std::deque<Request>> fifos_;
+  std::vector<std::size_t> row_total_;  // pending per row (all columns)
+  std::vector<std::size_t> row_west_;   // pending per row, west of the exit column
   std::vector<unsigned> rr3_;   // per exit-column router
   std::vector<unsigned> rr2_;   // per in-row router
   std::vector<std::uint64_t> served_;

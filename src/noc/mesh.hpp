@@ -66,6 +66,24 @@ public:
     const sim::Cycles occupancy = std::max<sim::Cycles>(
         1, static_cast<sim::Cycles>(static_cast<double>(bytes) / timing_->link_bytes_per_cycle + 0.5));
 
+    // Single-hop fast path: neighbouring cores (the dominant stencil-halo
+    // case) reserve exactly one directed link, so the path vectors are
+    // skipped entirely. Timing and trace output match the general path.
+    if (arch::manhattan_distance(src, dst) == 1) {
+      const arch::Dir d = src.col != dst.col
+                              ? (src.col < dst.col ? arch::Dir::East : arch::Dir::West)
+                              : (src.row < dst.row ? arch::Dir::South : arch::Dir::North);
+      const std::size_t li = link_index(src, d);
+      const sim::Cycles start = std::max(earliest, link_free_[li]);
+      link_free_[li] = start + occupancy;
+      if (trace_ != nullptr) {
+        trace_->mesh_link(src, d, static_cast<std::uint32_t>(bytes), start,
+                          start + occupancy);
+      }
+      return start + occupancy +
+             static_cast<sim::Cycles>(timing_->mesh_hop_cycles * 1.0 + 0.5);
+    }
+
     // Collect the directed links of the XY route (column-first, then row,
     // matching eMesh dimension-ordered routing).
     path_scratch_.clear();

@@ -6,6 +6,19 @@
 // resumed by the event queue. Ordering is deterministic: events fire in
 // (time, insertion-sequence) order, so every benchmark in this repository
 // is reproducible bit-for-bit.
+//
+// Hot-path design (the simulator's own throughput bounds how large a
+// modelled experiment is practical -- see abl_simperf):
+//   * Events are 32 bytes: a coroutine handle plus an index into a side
+//     table of callbacks. Coroutine resumes -- the overwhelming majority --
+//     never pay for an embedded std::function.
+//   * The queue is two-level: a near-future ring of kRingSpan per-cycle
+//     buckets (almost every event is scheduled a few to a few hundred
+//     cycles out) and an overflow binary heap for the far future. Within a
+//     bucket events are appended and popped FIFO, which *is* insertion-
+//     sequence order because sequence numbers increase monotonically; the
+//     ring front and the heap top are merged by (time, seq) on every pop,
+//     so the drain order is bit-identical to a single global heap.
 
 #include <coroutine>
 #include <cstddef>
@@ -60,26 +73,35 @@ private:
 
 class Engine {
 public:
-  Engine() = default;
+  Engine() : ring_(kRingSpan) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] Cycles now() const noexcept { return now_; }
 
   /// Resume `h` at absolute time `t` (clamped to now()).
-  void schedule_at(Cycles t, std::coroutine_handle<> h) {
-    queue_.push(Event{t < now_ ? now_ : t, seq_++, h, {}});
-  }
+  void schedule_at(Cycles t, std::coroutine_handle<> h) { push(t, h, 0); }
 
   /// Resume `h` after `dt` cycles.
   void schedule_in(Cycles dt, std::coroutine_handle<> h) {
-    schedule_at(now_ + dt, h);
+    push(now_ + dt, h, 0);
   }
 
   /// Run an arbitrary callback at absolute time `t`. Used by host-side
-  /// orchestration (e.g. stopping a timed micro-benchmark window).
+  /// orchestration (e.g. stopping a timed micro-benchmark window) and by
+  /// network pumps. The callable lives in a recycled side table so the
+  /// common coroutine-resume event stays small.
   void call_at(Cycles t, std::function<void()> fn) {
-    queue_.push(Event{t < now_ ? now_ : t, seq_++, {}, std::move(fn)});
+    std::uint32_t idx;
+    if (!fn_free_.empty()) {
+      idx = fn_free_.back();
+      fn_free_.pop_back();
+      fns_[idx] = std::move(fn);
+    } else {
+      idx = static_cast<std::uint32_t>(fns_.size());
+      fns_.push_back(std::move(fn));
+    }
+    push(t, {}, idx + 1);
   }
 
   /// Drain the event queue. Throws DeadlockError (naming the stuck
@@ -95,20 +117,15 @@ public:
 
   /// Process a single event; returns false if the queue is empty.
   bool step() {
-    if (queue_.empty()) return false;
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.t;
-    ++processed_;
-    if (ev.h) {
-      ev.h.resume();
-    } else if (ev.fn) {
-      ev.fn();
-    }
+    Event ev;
+    if (!pop(ev, kNoLimit)) return false;
+    dispatch(ev);
     return true;
   }
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return ring_count_ == 0 && heap_.empty();
+  }
   [[nodiscard]] std::size_t events_processed() const noexcept { return processed_; }
   [[nodiscard]] std::size_t live_processes() const noexcept { return live_.size(); }
 
@@ -134,12 +151,19 @@ public:
 
 private:
   static constexpr Cycles kNoLimit = ~Cycles{0};
+  /// Near-future window, in cycles (power of two). Delays beyond it land in
+  /// the overflow heap; nearly all simulation delays (store issue, mesh and
+  /// eLink occupancies, barrier hops, DMA chunk drains) are far shorter.
+  static constexpr std::size_t kRingSpan = 4096;
+  static constexpr std::size_t kRingMask = kRingSpan - 1;
+  /// Cap on the drained-bucket vectors kept for reuse (bounds idle memory).
+  static constexpr std::size_t kSpareMax = 64;
 
   struct Event {
-    Cycles t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;
-    std::function<void()> fn;
+    Cycles t = 0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> h{};  // null => callback event
+    std::uint32_t fn = 0;         // 1-based index into fns_ when h is null
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -147,23 +171,113 @@ private:
       return a.seq > b.seq;
     }
   };
+  /// One ring bucket. Invariant: all queued events in a bucket share the
+  /// same absolute time (two times mapping to one bucket differ by at least
+  /// kRingSpan and cannot both be inside the near-future window), so popping
+  /// from `head` is exact (time, seq) order.
+  struct Bucket {
+    std::vector<Event> ev;
+    std::size_t head = 0;
+  };
 
-  void drain(Cycles limit) {
-    while (!queue_.empty()) {
-      if (queue_.top().t > limit) return;
-      Event ev = queue_.top();
-      queue_.pop();
-      now_ = ev.t;
-      ++processed_;
-      if (ev.h) {
-        ev.h.resume();
-      } else if (ev.fn) {
-        ev.fn();
+  void push(Cycles t, std::coroutine_handle<> h, std::uint32_t fn) {
+    if (t < now_) t = now_;
+    const Event ev{t, seq_++, h, fn};
+    if (t - now_ < kRingSpan) {
+      Bucket& b = ring_[t & kRingMask];
+      // First event in a never-used bucket: adopt a drained bucket's vector
+      // so steady-state pushes never reallocate (activity shifts through
+      // the ring as simulated time advances; without recycling each newly
+      // touched bucket would regrow its storage from zero).
+      if (b.ev.capacity() == 0 && !spare_.empty()) {
+        b.ev = std::move(spare_.back());
+        spare_.pop_back();
+      }
+      b.ev.push_back(ev);
+      ++ring_count_;
+      if (t < ring_scan_) ring_scan_ = t;
+    } else {
+      heap_.push(ev);
+    }
+  }
+
+  /// Bucket holding the earliest ring event, or nullptr when the ring is
+  /// empty. All unfired ring events lie in [now_, now_ + kRingSpan), so a
+  /// forward scan terminates within the window; `ring_scan_` (a lower bound
+  /// on the earliest ring event, never above it) makes the scan O(1)
+  /// amortised per cycle of simulated-time advance.
+  [[nodiscard]] Bucket* ring_front() {
+    if (ring_count_ == 0) return nullptr;
+    for (Cycles c = ring_scan_ < now_ ? now_ : ring_scan_;; ++c) {
+      Bucket& b = ring_[c & kRingMask];
+      if (b.head < b.ev.size()) {
+        ring_scan_ = c;
+        return &b;
       }
     }
   }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pop the next event in (time, seq) order, merging the ring front with
+  /// the heap top. Returns false (and leaves state untouched) if the queue
+  /// is empty or the next event lies beyond `limit`.
+  bool pop(Event& out, Cycles limit) {
+    Bucket* b = ring_front();
+    const bool have_heap = !heap_.empty();
+    if (b == nullptr && !have_heap) return false;
+    bool from_ring;
+    if (b == nullptr) {
+      from_ring = false;
+    } else if (!have_heap) {
+      from_ring = true;
+    } else {
+      const Event& r = b->ev[b->head];
+      const Event& h = heap_.top();
+      from_ring = r.t < h.t || (r.t == h.t && r.seq < h.seq);
+    }
+    const Event& next = from_ring ? b->ev[b->head] : heap_.top();
+    if (next.t > limit) return false;
+    out = next;
+    if (from_ring) {
+      if (++b->head == b->ev.size()) {
+        b->ev.clear();
+        b->head = 0;
+        if (spare_.size() < kSpareMax && b->ev.capacity() != 0) {
+          spare_.push_back(std::move(b->ev));
+        }
+      }
+      --ring_count_;
+    } else {
+      heap_.pop();
+    }
+    now_ = out.t;
+    ++processed_;
+    return true;
+  }
+
+  void dispatch(const Event& ev) {
+    if (ev.h) {
+      ev.h.resume();
+    } else {
+      const std::uint32_t idx = ev.fn - 1;
+      auto fn = std::move(fns_[idx]);
+      fns_[idx] = nullptr;
+      fn_free_.push_back(idx);
+      fn();
+    }
+  }
+
+  void drain(Cycles limit) {
+    Event ev;
+    while (pop(ev, limit)) dispatch(ev);
+  }
+
+  std::vector<Bucket> ring_;
+  std::vector<std::vector<Event>> spare_;  // drained bucket storage for reuse
+  std::size_t ring_count_ = 0;
+  Cycles ring_scan_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<std::function<void()>> fns_;
+  std::vector<std::uint32_t> fn_free_;
   Cycles now_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t processed_ = 0;

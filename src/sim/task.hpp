@@ -8,15 +8,24 @@
 //
 // spawn() turns an Op<void> into a detached root process tracked by the
 // Engine (for deadlock detection) and by the returned Process handle (for
-// completion queries and error propagation).
+// completion queries and error propagation). join() parks on the process's
+// completion record and is woken by the finishing process itself -- no
+// polling.
+//
+// All promise types route their frame storage through FramePool: simulation
+// kernels churn through millions of short-lived frames (per-word stores,
+// barrier legs, DMA chunk loops), and a size-class free list beats the
+// global allocator by a wide margin on that pattern.
 
 #include <coroutine>
 #include <exception>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace epi::sim {
 
@@ -28,6 +37,14 @@ namespace detail {
 struct OpPromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr error{};
+
+  // Frame storage comes from the pool; both deallocation signatures are
+  // provided so whichever form the compiler selects finds the pool.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FramePool::deallocate(p);
+  }
 
   struct FinalAwaiter {
     [[nodiscard]] bool await_ready() const noexcept { return false; }
@@ -131,10 +148,13 @@ inline Op<void> OpPromise<void>::get_return_object() noexcept {
 }
 }  // namespace detail
 
-/// Shared completion record of a spawned root process.
+/// Shared completion record of a spawned root process. `joiners` holds the
+/// coroutines parked in join(); the finishing root task wakes them at its
+/// completion cycle.
 struct ProcessState {
   bool done = false;
   std::exception_ptr error{};
+  std::vector<std::coroutine_handle<>> joiners;
 };
 
 /// Handle to a detached root process.
@@ -152,6 +172,11 @@ public:
     if (st_ && st_->error) std::rethrow_exception(st_->error);
   }
 
+  /// The shared completion record (join() parks on it).
+  [[nodiscard]] const std::shared_ptr<ProcessState>& state() const noexcept {
+    return st_;
+  }
+
 private:
   std::shared_ptr<ProcessState> st_;
 };
@@ -164,23 +189,36 @@ struct RootTask {
     std::uint64_t token = 0;
     std::shared_ptr<ProcessState> st;
 
+    static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+    static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+    static void operator delete(void* p, std::size_t) noexcept {
+      FramePool::deallocate(p);
+    }
+
     RootTask get_return_object() noexcept {
       return RootTask{std::coroutine_handle<promise_type>::from_promise(*this)};
     }
     std::suspend_always initial_suspend() noexcept { return {}; }
     // Not suspending at the final point destroys the frame automatically.
     std::suspend_never final_suspend() noexcept { return {}; }
-    void return_void() noexcept {
-      if (st) st->done = true;
-    }
+    void return_void() noexcept { finish(); }
     void unhandled_exception() noexcept {
-      if (st) {
-        st->error = std::current_exception();
-        st->done = true;
-      }
+      if (st) st->error = std::current_exception();
+      finish();
     }
     ~promise_type() {
       if (engine) engine->note_process_finished(token);
+    }
+
+  private:
+    /// Mark the process done and wake every join()er at the current cycle.
+    void finish() noexcept {
+      if (!st) return;
+      st->done = true;
+      if (engine) {
+        for (auto h : st->joiners) engine->schedule_in(0, h);
+      }
+      st->joiners.clear();
     }
   };
   std::coroutine_handle<promise_type> h;

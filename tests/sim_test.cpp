@@ -267,11 +267,44 @@ TEST(Join, WaitsForProcessCompletion) {
   auto p = spawn(e, [](Engine& eng) -> Op<void> { co_await delay(eng, 100); }(e));
   Cycles joined = 0;
   spawn(e, [](Engine& eng, Process proc, Cycles& j) -> Op<void> {
-    co_await join(eng, proc, 8);
+    co_await join(eng, proc);
     j = eng.now();
   }(e, p, joined));
   e.run();
-  EXPECT_GE(joined, 100u);
+  // Event-driven join: the joiner resumes exactly at the completion cycle.
+  EXPECT_EQ(joined, 100u);
+}
+
+TEST(Join, AlreadyDoneProcessResumesImmediately) {
+  Engine e;
+  auto p = spawn(e, [](Engine& eng) -> Op<void> { co_await delay(eng, 5); }(e));
+  e.run();
+  ASSERT_TRUE(p.done());
+  Cycles joined = ~Cycles{0};
+  spawn(e, [](Engine& eng, Process proc, Cycles& j) -> Op<void> {
+    co_await join(eng, proc);
+    j = eng.now();
+  }(e, p, joined));
+  e.run();
+  EXPECT_EQ(joined, 5u);  // no extra wait beyond the current cycle
+}
+
+TEST(Join, PropagatesProcessException) {
+  Engine e;
+  auto p = spawn(e, []() -> Op<void> {
+    co_await std::suspend_never{};
+    throw std::runtime_error("kernel fault");
+  }());
+  bool caught = false;
+  spawn(e, [](Engine& eng, Process proc, bool& c) -> Op<void> {
+    try {
+      co_await join(eng, proc);
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(e, p, caught));
+  e.run();
+  EXPECT_TRUE(caught);
 }
 
 TEST(Determinism, SameSeedSameSchedule) {
