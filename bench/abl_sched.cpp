@@ -1,0 +1,177 @@
+// Ablation: serving throughput and latency of the epi-serve scheduler as
+// offered load rises. One seeded traffic mix is replayed at three (or more)
+// interarrival scales against a fresh machine each time; jobs from different
+// tenants are resident concurrently, so the mesh, eLink and DRAM window are
+// genuinely shared -- queueing delay and contention, not kernel time alone,
+// set the latency distribution.
+//
+// Results go to BENCH_sched.json (throughput, p50/p99 queue wait and
+// turnaround, utilisation, deadline hit-rate per load point); the committed
+// copy at the repository root is the baseline scripts/bench.sh compares new
+// runs against.
+//
+// Usage: abl_sched [jobs_per_point] [--smoke] [--trace=FILE] [--csv=FILE]
+//                  [--metrics=FILE] [--no-metrics]
+//
+// --smoke: shrink the sweep, run every load point twice asserting the
+// scheduler's decision log is byte-identical run over run, and validate the
+// metrics file's schema (the ctest entry); non-zero exit on any mismatch.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "host/system.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+#include "util/bench_report.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace epi;
+
+struct PointResult {
+  sched::RunStats stats;
+  unsigned peak_resident = 0;
+  std::vector<std::string> event_log;
+};
+
+PointResult run_point(host::System& sys, sim::Cycles mean_interarrival,
+                      unsigned jobs) {
+  sched::TrafficConfig tc;
+  tc.jobs = jobs;
+  tc.seed = 42;
+  tc.mean_interarrival = mean_interarrival;
+
+  sched::Scheduler sc(sys);
+  for (auto& spec : sched::generate(tc)) sc.submit(std::move(spec));
+  sc.run();
+
+  PointResult pr;
+  pr.stats = sched::summarise(sc);
+  pr.peak_resident = sc.peak_resident();
+  pr.event_log = sc.event_log();
+  return pr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = util::BenchArgs::parse(argc, argv, "abl_sched");
+  bool smoke = false;
+  for (auto it = args.positional.begin(); it != args.positional.end();) {
+    if (*it == "--smoke") {
+      smoke = true;
+      it = args.positional.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.metrics_path == "abl_sched_trace.json") {
+    // Default output name matches the committed baseline, like abl_simperf's
+    // BENCH_simperf.json (override with --metrics=...).
+    args.metrics_path = smoke ? "BENCH_sched_smoke.json" : "BENCH_sched.json";
+  }
+  const unsigned jobs =
+      static_cast<unsigned>(args.positional_double(0, smoke ? 24 : 48));
+  // Offered load rises left to right: mean interarrival shrinks from "mesh
+  // mostly idle" to "arrivals outpace drain".
+  const std::vector<sim::Cycles> sweep = {120'000, 40'000, 12'000};
+
+  std::cout << "epi-serve load sweep: " << jobs
+            << " jobs/point, seed 42, mixed matmul/stencil/offload\n\n";
+  util::Table t({"interarrival", "done", "to", "rej", "fail", "jobs/Mcyc",
+                 "wait p50", "wait p99", "tat p99", "util %", "resident"});
+
+  util::BenchReport report("abl_sched");
+  bool ok = true;
+  std::unique_ptr<host::System> traced_sys;  // kept alive for finish_bench
+  for (const sim::Cycles mi : sweep) {
+    // Tracing is only attached to the busiest point: one timeline of the most
+    // contended regime, instead of three files overwriting one another.
+    const bool trace_this = args.tracing() && mi == sweep.back();
+    auto sys = std::make_unique<host::System>();
+    if (trace_this) sys->machine().enable_tracing();
+    PointResult pr = run_point(*sys, mi, jobs);
+    if (trace_this) traced_sys = std::move(sys);
+    if (smoke) {
+      host::System sys2;
+      const PointResult again = run_point(sys2, mi, jobs);
+      if (again.event_log != pr.event_log) {
+        std::fprintf(stderr,
+                     "abl_sched: FAIL: scheduler event order diverged between "
+                     "two identical runs at interarrival %llu\n",
+                     static_cast<unsigned long long>(mi));
+        ok = false;
+      }
+    }
+    const sched::RunStats& rs = pr.stats;
+    t.add_row({std::to_string(mi), std::to_string(rs.completed),
+               std::to_string(rs.timed_out), std::to_string(rs.rejected),
+               std::to_string(rs.failed), util::fmt(rs.throughput, 3),
+               std::to_string(rs.wait_p50), std::to_string(rs.wait_p99),
+               std::to_string(rs.turnaround_p99), util::fmt(100 * rs.utilisation, 1),
+               std::to_string(pr.peak_resident)});
+
+    const std::string pfx = "mi" + std::to_string(mi) + "_";
+    report.metric(pfx + "completed", rs.completed);
+    report.metric(pfx + "timed_out", rs.timed_out);
+    report.metric(pfx + "rejected", rs.rejected);
+    report.metric(pfx + "failed", rs.failed);
+    report.metric(pfx + "throughput_jobs_per_mcycle", rs.throughput);
+    report.metric(pfx + "p50_wait_cycles", static_cast<double>(rs.wait_p50));
+    report.metric(pfx + "p99_wait_cycles", static_cast<double>(rs.wait_p99));
+    report.metric(pfx + "p50_turnaround_cycles",
+                  static_cast<double>(rs.turnaround_p50));
+    report.metric(pfx + "p99_turnaround_cycles",
+                  static_cast<double>(rs.turnaround_p99));
+    report.metric(pfx + "utilisation", rs.utilisation);
+    report.metric(pfx + "peak_resident_groups", pr.peak_resident);
+    report.metric(pfx + "deadline_hit_rate",
+                  rs.deadlines > 0
+                      ? static_cast<double>(rs.deadlines_met) / rs.deadlines
+                      : 1.0);
+  }
+  t.print(std::cout);
+  std::cout << "\n(wait = admission->start queueing; tat = arrival->finish "
+               "turnaround; cycles at 600 MHz)\n";
+
+  util::finish_bench(args, traced_sys ? traced_sys->machine().tracer() : nullptr,
+                     report);
+
+  if (smoke && !args.metrics_path.empty()) {
+    // Schema check: the metrics file must carry a populated p99 latency for
+    // every load point, under the bench's own name.
+    std::ifstream in(args.metrics_path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    if (json.find("\"bench\":\"abl_sched\"") == std::string::npos) {
+      std::fprintf(stderr, "abl_sched: FAIL: %s missing bench name\n",
+                   args.metrics_path.c_str());
+      ok = false;
+    }
+    for (const sim::Cycles mi : sweep) {
+      for (const char* key : {"p99_turnaround_cycles", "p99_wait_cycles",
+                              "throughput_jobs_per_mcycle", "utilisation"}) {
+        const std::string want =
+            "\"mi" + std::to_string(mi) + "_" + key + "\":";
+        if (json.find(want) == std::string::npos) {
+          std::fprintf(stderr, "abl_sched: FAIL: %s missing metric %s\n",
+                       args.metrics_path.c_str(), want.c_str());
+          ok = false;
+        }
+      }
+    }
+    std::cout << (ok ? "\nsmoke: PASS (bit-identical event order across "
+                       "reruns; metrics schema valid)\n"
+                     : "\nsmoke: FAIL\n");
+  }
+  return ok ? 0 : 1;
+}

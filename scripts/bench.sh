@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
-# Simulator performance benchmark: Release build + abl_simperf run, writing
-# machine-readable results to BENCH_simperf.json at the repository root.
-# Run from anywhere:
+# Simulator performance benchmarks: Release build, then
+#   * abl_simperf  -> BENCH_simperf.json (wall-clock engine throughput)
+#   * abl_sched    -> BENCH_sched.json   (serving throughput/latency sweep)
+# both written at the repository root. Run from anywhere:
 #
 #     scripts/bench.sh [extra google-benchmark args...]
 #
-# The committed BENCH_simperf.json is the regression baseline; re-run this
-# script and commit the new file to move it. CI compares fresh results
-# against the committed baseline and warns on a >20% throughput drop in
-# BM_EngineEventThroughput.
+# The committed BENCH_*.json files are the regression baselines; re-run this
+# script and commit the new files to move them. CI compares fresh results
+# against the committed baselines and warns on a >20% drop.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,7 +17,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== Release build =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j "${JOBS}" --target abl_simperf
+cmake --build build-release -j "${JOBS}" --target abl_simperf abl_sched
 
 echo "== abl_simperf (results -> BENCH_simperf.json) =="
 # Debian's libbenchmark is packaged with an unset build type, so the library
@@ -30,3 +30,8 @@ echo "== abl_simperf (results -> BENCH_simperf.json) =="
     2> >(grep -v '^\*\*\*WARNING\*\*\* Library was built as DEBUG' >&2)
 
 echo "Wrote $(pwd)/BENCH_simperf.json"
+
+echo "== abl_sched (results -> BENCH_sched.json) =="
+./build-release/bench/abl_sched --metrics=BENCH_sched.json
+
+echo "Wrote $(pwd)/BENCH_sched.json"

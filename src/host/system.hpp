@@ -27,10 +27,21 @@ namespace epi::host {
 class System;
 
 /// A rectangular group of eCores running one kernel each (e_open/e_load/
-/// e_start in the eSDK).
+/// e_start in the eSDK). A Workgroup owns its cores exclusively: the
+/// constructor reserves the rectangle in the machine's reservation table
+/// (throwing if any core is already held by a live workgroup) and the
+/// destructor releases it, so double-opened cores are rejected instead of
+/// silently clobbering each other.
+///
+/// Moving a Workgroup transfers the reservation; moves are only safe before
+/// start() (running kernels hold pointers into the group's CoreCtx objects
+/// and completion counters).
 class Workgroup {
 public:
-  Workgroup(machine::Machine& m, device::GroupInfo info) : m_(&m), info_(info) {
+  Workgroup(machine::Machine& m, device::GroupInfo info)
+      : m_(&m),
+        info_(info),
+        ticket_(m.reservations().acquire(info.origin, info.rows, info.cols)) {
     ctxs_.reserve(info.size());
     for (unsigned r = 0; r < info.rows; ++r) {
       for (unsigned c = 0; c < info.cols; ++c) {
@@ -39,6 +50,37 @@ public:
       }
     }
   }
+
+  Workgroup(Workgroup&& o) noexcept
+      : m_(o.m_),
+        info_(o.info_),
+        ticket_(std::exchange(o.ticket_, 0)),
+        ctxs_(std::move(o.ctxs_)),
+        kernel_(std::move(o.kernel_)),
+        procs_(std::move(o.procs_)),
+        finished_(o.finished_),
+        failed_(o.failed_),
+        finish_time_(o.finish_time_),
+        label_(std::move(o.label_)) {}
+  Workgroup& operator=(Workgroup&& o) noexcept {
+    if (this != &o) {
+      release_cores();
+      m_ = o.m_;
+      info_ = o.info_;
+      ticket_ = std::exchange(o.ticket_, 0);
+      ctxs_ = std::move(o.ctxs_);
+      kernel_ = std::move(o.kernel_);
+      procs_ = std::move(o.procs_);
+      finished_ = o.finished_;
+      failed_ = o.failed_;
+      finish_time_ = o.finish_time_;
+      label_ = std::move(o.label_);
+    }
+    return *this;
+  }
+  Workgroup(const Workgroup&) = delete;
+  Workgroup& operator=(const Workgroup&) = delete;
+  ~Workgroup() { release_cores(); }
 
   [[nodiscard]] const device::GroupInfo& info() const noexcept { return info_; }
   [[nodiscard]] unsigned size() const noexcept { return info_.size(); }
@@ -52,6 +94,10 @@ public:
   /// Load the same kernel onto every core of the group.
   void load(device::KernelFn kernel) { kernel_ = std::move(kernel); }
 
+  /// Label prepended to this group's process names ("job 12 core (2,3)") so
+  /// DeadlockError and traces attribute hangs to a specific serving job.
+  void set_label(std::string label) { label_ = std::move(label); }
+
   /// Signal all cores to begin executing the loaded kernel. Each core's
   /// status word is cleared, then set (with a watched store) on completion.
   void start() {
@@ -62,8 +108,9 @@ public:
     for (auto& ctx : ctxs_) {
       m_->mem().write_value<std::uint32_t>(
           ctx->my_global(device::CoreCtx::kStatusOffset), 0, ctx->coord());
-      procs_.push_back(sim::spawn(m_->engine(), run_kernel(*ctx), 0,
-                                  "core " + arch::to_string(ctx->coord())));
+      std::string name = label_.empty() ? "core " + arch::to_string(ctx->coord())
+                                        : label_ + " core " + arch::to_string(ctx->coord());
+      procs_.push_back(sim::spawn(m_->engine(), run_kernel(*ctx), 0, std::move(name)));
     }
   }
 
@@ -72,6 +119,21 @@ public:
       if (!p.done()) return false;
     }
     return !procs_.empty();
+  }
+
+  /// O(1) completion check from the kernel-wrapper counters (done() scans
+  /// every process handle; the scheduler polls this once per engine event).
+  [[nodiscard]] bool complete() const noexcept {
+    return !procs_.empty() && finished_ + failed_ >= procs_.size();
+  }
+  [[nodiscard]] bool any_failed() const noexcept { return failed_ > 0; }
+  /// Cycle at which the last kernel of the group finished (valid once
+  /// complete(); tracked by the kernel wrappers so an external driver that
+  /// pumps the engine itself still gets exact per-job service cycles).
+  [[nodiscard]] sim::Cycles finish_time() const noexcept { return finish_time_; }
+  /// Propagate the first kernel exception, if any kernel failed.
+  void rethrow_errors() const {
+    for (const auto& p : procs_) p.rethrow_if_error();
   }
 
   /// Drive the simulation until every core in the group has finished.
@@ -113,6 +175,7 @@ private:
       co_await kernel_(ctx);
     } catch (...) {
       ++failed_;
+      if (finished_ + failed_ == procs_.size()) finish_time_ = m_->engine().now();
       throw;
     }
     // Completion signal: a real kernel's final act is a status store the
@@ -120,15 +183,26 @@ private:
     m_->mem().write_value<std::uint32_t>(ctx.my_global(device::CoreCtx::kStatusOffset), 1,
                                          ctx.coord());
     ++finished_;
+    if (finished_ + failed_ == procs_.size()) finish_time_ = m_->engine().now();
+  }
+
+  void release_cores() noexcept {
+    if (ticket_ != 0) {
+      m_->reservations().release(info_.origin, info_.rows, info_.cols, ticket_);
+      ticket_ = 0;
+    }
   }
 
   machine::Machine* m_;
   device::GroupInfo info_;
+  std::uint32_t ticket_ = 0;  // core reservation; 0 after a move-from
   std::vector<std::unique_ptr<device::CoreCtx>> ctxs_;
   device::KernelFn kernel_;
   std::vector<sim::Process> procs_;
   std::size_t finished_ = 0;  // kernels completed normally since start()
   std::size_t failed_ = 0;    // kernels that ended with an exception
+  sim::Cycles finish_time_ = 0;  // cycle the last kernel retired
+  std::string label_;            // process-name prefix (serving job id)
 };
 
 class System {

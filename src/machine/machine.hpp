@@ -13,6 +13,7 @@
 #include "arch/timing.hpp"
 #include "dma/channel.hpp"
 #include "lint/sanitizer.hpp"
+#include "machine/reservation.hpp"
 #include "mem/memory_system.hpp"
 #include "noc/elink.hpp"
 #include "noc/mesh.hpp"
@@ -66,7 +67,8 @@ public:
         mem_(cfg.dims, engine_),
         mesh_(cfg.dims, cfg_.timing, engine_),
         elink_write_(cfg.dims, cfg_.timing, engine_, cfg.timing.elink_write_overhead),
-        elink_read_(cfg.dims, cfg_.timing, engine_, cfg.timing.elink_read_overhead) {
+        elink_read_(cfg.dims, cfg_.timing, engine_, cfg.timing.elink_read_overhead),
+        reservations_(cfg.dims) {
     for (unsigned i = 0; i < cfg.dims.core_count(); ++i) {
       cores_.emplace_back(cfg.dims.coord_of(i), *this);
     }
@@ -94,6 +96,11 @@ public:
   [[nodiscard]] noc::ELink& elink_read() noexcept { return elink_read_; }
 
   [[nodiscard]] Core& core(arch::CoreCoord c) { return cores_[cfg_.dims.index_of(c)]; }
+
+  /// Exclusive workgroup ownership of cores (host::Workgroup RAII holds a
+  /// reservation for its rectangle; the serving runtime relies on this to
+  /// keep concurrently resident jobs from clobbering each other).
+  [[nodiscard]] CoreReservations& reservations() noexcept { return reservations_; }
 
   // ---- runtime sanitizer --------------------------------------------------
   /// Attach an epi-lint MemSanitizer to the memory system. Idempotent;
@@ -150,6 +157,7 @@ private:
   noc::MeshNetwork mesh_;
   noc::ELink elink_write_;
   noc::ELink elink_read_;
+  CoreReservations reservations_;
   std::deque<Core> cores_;  // deque: Core is immovable (owns DmaChannels)
   std::unique_ptr<lint::MemSanitizer> sanitizer_;
   std::unique_ptr<trace::Tracer> tracer_;

@@ -60,7 +60,7 @@ float Queue::reduce(const Buffer& b, std::size_t n, float init,
                     std::function<float(float, float)> op, double cycles_per_elem,
                     sim::Cycles* cycles_out) {
   if (b.size() < n) throw std::invalid_argument("buffer smaller than the reduce range");
-  auto wg = sys_->open(0, 0, rows_, cols_);
+  auto wg = sys_->open(origin_row_, origin_col_, rows_, cols_);
   // Distinct flag generation per reduce.
   const std::uint32_t gen = reduce_gen_++;
   for (unsigned k = 0; k < cores(); ++k) {

@@ -31,6 +31,28 @@ namespace epi::offload {
 
 class Queue;
 
+/// Thrown when the per-core offload heap (0x4000-0x7BFF) cannot satisfy an
+/// allocation. Subclasses std::bad_alloc (existing callers keep working) but
+/// reports the requested and remaining sizes instead of a bare "bad_alloc".
+class HeapExhausted : public std::bad_alloc {
+public:
+  HeapExhausted(std::size_t requested, std::size_t available)
+      : requested_(requested),
+        available_(available),
+        msg_("offload heap exhausted: requested " + std::to_string(requested) +
+             " bytes per core but only " + std::to_string(available) +
+             " of the 0x4000-0x7BFF heap remain (release_all() frees it)") {}
+
+  [[nodiscard]] const char* what() const noexcept override { return msg_.c_str(); }
+  [[nodiscard]] std::size_t requested() const noexcept { return requested_; }
+  [[nodiscard]] std::size_t available() const noexcept { return available_; }
+
+private:
+  std::size_t requested_;
+  std::size_t available_;
+  std::string msg_;
+};
+
 /// A device-resident float array, striped across the queue's cores.
 class Buffer {
 public:
@@ -60,34 +82,51 @@ public:
   static constexpr arch::Addr kReduceOut = 0x7C40;    // per-core local fold
   static constexpr unsigned kMaxReduceLevels = 8;     // up to 2^8 cores
 
-  Queue(host::System& sys, unsigned rows, unsigned cols)
-      : sys_(&sys), rows_(rows), cols_(cols) {
-    if (rows == 0 || cols == 0 || rows > sys.machine().dims().rows ||
-        cols > sys.machine().dims().cols) {
+  /// A queue over the rows x cols workgroup whose top-left core sits at
+  /// (origin_row, origin_col) -- the serving runtime places queues anywhere
+  /// on the mesh; standalone use keeps the origin default of (0,0).
+  Queue(host::System& sys, unsigned rows, unsigned cols, unsigned origin_row = 0,
+        unsigned origin_col = 0)
+      : sys_(&sys), origin_row_(origin_row), origin_col_(origin_col), rows_(rows),
+        cols_(cols) {
+    if (rows == 0 || cols == 0 || origin_row + rows > sys.machine().dims().rows ||
+        origin_col + cols > sys.machine().dims().cols) {
       throw std::out_of_range("offload queue does not fit the mesh");
     }
   }
 
   [[nodiscard]] unsigned cores() const noexcept { return rows_ * cols_; }
 
-  /// Allocate a striped device buffer of `n` floats.
+  /// Allocate a striped device buffer of `n` floats. Throws HeapExhausted
+  /// (a std::bad_alloc) naming the requested and remaining sizes when the
+  /// per-core heap cannot hold another stripe.
   [[nodiscard]] Buffer alloc(std::size_t n) {
     const std::size_t stripe = (n + cores() - 1) / cores();
-    const std::size_t bytes = stripe * sizeof(float);
-    if (brk_ + bytes > kHeapEnd - kHeapBase) {
-      throw std::bad_alloc();
+    const std::size_t bytes = (stripe * sizeof(float) + 7) / 8 * 8;
+    const std::size_t capacity = kHeapEnd - kHeapBase;
+    if (brk_ + bytes > capacity) {
+      throw HeapExhausted(stripe * sizeof(float), capacity - brk_);
     }
     const arch::Addr off = kHeapBase + static_cast<arch::Addr>(brk_);
-    brk_ += (bytes + 7) / 8 * 8;
+    brk_ += bytes;
     return Buffer(off, n, stripe);
   }
 
-  void reset() noexcept { brk_ = 0; }
+  /// Free every buffer at once (a bump allocator cannot free piecemeal).
+  /// Outstanding Buffer handles are invalidated; the scheduler calls this
+  /// between jobs to reuse one queue's heap across a whole job stream.
+  void release_all() noexcept { brk_ = 0; }
+  void reset() noexcept { release_all(); }
+
+  /// Bytes of per-core heap still available to alloc().
+  [[nodiscard]] std::size_t heap_available() const noexcept {
+    return (kHeapEnd - kHeapBase) - brk_;
+  }
 
   /// Host -> device: scatter `src` into the buffer's stripes.
   void write(const Buffer& b, std::span<const float> src) {
     if (src.size() != b.size()) throw std::invalid_argument("offload write size mismatch");
-    auto wg = sys_->open(0, 0, rows_, cols_);
+    auto wg = sys_->open(origin_row_, origin_col_, rows_, cols_);
     for (unsigned k = 0; k < cores(); ++k) {
       const std::size_t first = static_cast<std::size_t>(k) * b.stripe();
       if (first >= src.size()) break;
@@ -100,7 +139,7 @@ public:
   /// Device -> host: gather the buffer's stripes into `dst`.
   void read(const Buffer& b, std::span<float> dst) {
     if (dst.size() != b.size()) throw std::invalid_argument("offload read size mismatch");
-    auto wg = sys_->open(0, 0, rows_, cols_);
+    auto wg = sys_->open(origin_row_, origin_col_, rows_, cols_);
     for (unsigned k = 0; k < cores(); ++k) {
       const std::size_t first = static_cast<std::size_t>(k) * b.stripe();
       if (first >= dst.size()) break;
@@ -124,7 +163,7 @@ public:
     for (const Buffer* b : buffers) {
       if (b->size() < n) throw std::invalid_argument("buffer smaller than the range");
     }
-    auto wg = sys_->open(0, 0, rows_, cols_);
+    auto wg = sys_->open(origin_row_, origin_col_, rows_, cols_);
     const std::size_t stripe = (n + cores() - 1) / cores();
     std::vector<const Buffer*> bufs(buffers);
     wg.load([&, stripe, n, cycles_per_elem](device::CoreCtx& ctx) -> sim::Op<void> {
@@ -156,6 +195,8 @@ public:
 
 private:
   host::System* sys_;
+  unsigned origin_row_;
+  unsigned origin_col_;
   unsigned rows_;
   unsigned cols_;
   std::size_t brk_ = 0;

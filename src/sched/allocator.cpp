@@ -1,0 +1,107 @@
+#include "sched/allocator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace epi::sched {
+
+MeshAllocator::MeshAllocator(arch::MeshDims dims)
+    : dims_(dims), used_(dims.core_count(), 0), free_(dims.core_count()) {}
+
+bool MeshAllocator::rect_free(unsigned r0, unsigned c0, unsigned rows,
+                              unsigned cols) const noexcept {
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      if (used_[(r0 + r) * dims_.cols + (c0 + c)]) return false;
+    }
+  }
+  return true;
+}
+
+void MeshAllocator::mark(unsigned r0, unsigned c0, unsigned rows, unsigned cols,
+                         bool used) {
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      std::uint8_t& cell = used_[(r0 + r) * dims_.cols + (c0 + c)];
+      if (used) {
+        cell = 1;
+        --free_;
+      } else {
+        if (!cell) {
+          throw std::logic_error("MeshAllocator::free of a core not allocated at (" +
+                                 std::to_string(r0 + r) + "," + std::to_string(c0 + c) +
+                                 ")");
+        }
+        cell = 0;
+        ++free_;
+      }
+    }
+  }
+}
+
+std::optional<Placement> MeshAllocator::place(unsigned rows, unsigned cols,
+                                              bool allow_rotate) {
+  if (rows == 0 || cols == 0) return std::nullopt;
+  const auto try_shape = [&](unsigned pr, unsigned pc,
+                             bool rotated) -> std::optional<Placement> {
+    if (pr > dims_.rows || pc > dims_.cols || pr * pc > free_) return std::nullopt;
+    for (unsigned r0 = 0; r0 + pr <= dims_.rows; ++r0) {
+      for (unsigned c0 = 0; c0 + pc <= dims_.cols; ++c0) {
+        if (rect_free(r0, c0, pr, pc)) {
+          mark(r0, c0, pr, pc, true);
+          return Placement{{r0, c0}, pr, pc, rotated};
+        }
+      }
+    }
+    return std::nullopt;
+  };
+  if (auto p = try_shape(rows, cols, false)) return p;
+  if (allow_rotate && rows != cols) {
+    if (auto p = try_shape(cols, rows, true)) return p;
+  }
+  return std::nullopt;
+}
+
+void MeshAllocator::free(const Placement& p) {
+  if (p.origin.row + p.rows > dims_.rows || p.origin.col + p.cols > dims_.cols) {
+    throw std::logic_error("MeshAllocator::free of a rectangle outside the mesh");
+  }
+  mark(p.origin.row, p.origin.col, p.rows, p.cols, false);
+}
+
+bool MeshAllocator::fits_ever(unsigned rows, unsigned cols,
+                              bool allow_rotate) const noexcept {
+  if (rows == 0 || cols == 0) return false;
+  if (rows <= dims_.rows && cols <= dims_.cols) return true;
+  return allow_rotate && cols <= dims_.rows && rows <= dims_.cols;
+}
+
+unsigned MeshAllocator::largest_free_rect() const noexcept {
+  // Classic largest-rectangle-of-zeros: per-column free-run histogram, then
+  // for each cell extend left/right at its height. O(rows * cols^2) on an
+  // 8x8 grid is nothing.
+  std::vector<unsigned> height(dims_.cols, 0);
+  unsigned best = 0;
+  for (unsigned r = 0; r < dims_.rows; ++r) {
+    for (unsigned c = 0; c < dims_.cols; ++c) {
+      height[c] = used_[r * dims_.cols + c] ? 0 : height[c] + 1;
+    }
+    for (unsigned c = 0; c < dims_.cols; ++c) {
+      if (height[c] == 0) continue;
+      unsigned h = height[c];
+      for (unsigned c2 = c; c2 < dims_.cols && height[c2] > 0; ++c2) {
+        h = std::min(h, height[c2]);
+        best = std::max(best, h * (c2 - c + 1));
+      }
+    }
+  }
+  return best;
+}
+
+double MeshAllocator::fragmentation() const noexcept {
+  if (free_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_rect()) / static_cast<double>(free_);
+}
+
+}  // namespace epi::sched

@@ -1,0 +1,78 @@
+#pragma once
+// 2D mesh allocator: rectangular workgroup placement on the 8x8 grid.
+//
+// Placement is policy; enforcement is machine::CoreReservations. The
+// allocator answers "where should this rows x cols group go?" by first-fit
+// scan over row-major origins (deterministic: same request stream, same
+// placements), optionally trying the transposed shape when the requested
+// orientation does not fit. It also keeps the fragmentation picture the
+// scheduler's metrics report: how many cores are free, and how large a
+// rectangle could still be placed -- the gap between the two is external
+// fragmentation, the classic cost of first-fit on a torus-less mesh.
+//
+// The OpenSHMEM-on-Epiphany work (arXiv:1608.03545) made workgroup topology
+// a first-class runtime concern; this is the serving-side counterpart.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/coords.hpp"
+
+namespace epi::sched {
+
+/// A granted rectangle. `rotated` records that the allocator transposed the
+/// requested shape to make it fit.
+struct Placement {
+  arch::CoreCoord origin{};
+  unsigned rows = 1;
+  unsigned cols = 1;
+  bool rotated = false;
+
+  [[nodiscard]] unsigned cores() const noexcept { return rows * cols; }
+};
+
+class MeshAllocator {
+public:
+  explicit MeshAllocator(arch::MeshDims dims);
+
+  /// First-fit placement of a rows x cols rectangle (row-major origin scan).
+  /// When `allow_rotate` and the shape is not square, the transposed shape
+  /// is tried after the requested one. Empty when nothing fits right now.
+  [[nodiscard]] std::optional<Placement> place(unsigned rows, unsigned cols,
+                                               bool allow_rotate = true);
+
+  /// Return a placement's cores to the free pool. Double-free (or freeing
+  /// cells never placed) is a logic error and throws.
+  void free(const Placement& p);
+
+  /// Whether the shape could fit an *empty* mesh at all (admission check).
+  [[nodiscard]] bool fits_ever(unsigned rows, unsigned cols,
+                               bool allow_rotate = true) const noexcept;
+
+  [[nodiscard]] arch::MeshDims dims() const noexcept { return dims_; }
+  [[nodiscard]] unsigned free_cores() const noexcept { return free_; }
+  [[nodiscard]] unsigned used_cores() const noexcept {
+    return dims_.core_count() - free_;
+  }
+
+  /// Area of the largest free rectangle still placeable (0 when full).
+  [[nodiscard]] unsigned largest_free_rect() const noexcept;
+
+  /// External fragmentation in [0,1]: the fraction of free cores that the
+  /// largest placeable rectangle can NOT reach. 0 when the free space is one
+  /// solid rectangle (or the mesh is full); approaches 1 as the free cores
+  /// scatter into unusable slivers.
+  [[nodiscard]] double fragmentation() const noexcept;
+
+private:
+  [[nodiscard]] bool rect_free(unsigned r0, unsigned c0, unsigned rows,
+                               unsigned cols) const noexcept;
+  void mark(unsigned r0, unsigned c0, unsigned rows, unsigned cols, bool used);
+
+  arch::MeshDims dims_;
+  std::vector<std::uint8_t> used_;  // row-major occupancy
+  unsigned free_;
+};
+
+}  // namespace epi::sched

@@ -1,0 +1,102 @@
+#pragma once
+// Job model for epi-serve, the multi-tenant serving runtime.
+//
+// A job is one kernel launch request against the shared 8x8 mesh: a kind
+// (which serving kernel runs), a requested workgroup shape, a priority, an
+// arrival time, and optional deadline/timeout SLOs. Jobs are what the
+// scheduler admits, places, launches, retries and accounts -- the unit the
+// ROADMAP's "heavy concurrent traffic" arrives in. Richie & Ross
+// (arXiv:1604.04207) measured that host-side run-time behaviour, not device
+// kernels, dominates real Epiphany deployments; the fields here are exactly
+// the run-time concerns that work surfaces (placement shape, launch retry,
+// queueing).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/engine.hpp"
+
+namespace epi::sched {
+
+/// Which serving kernel a job runs (see sched/kernels.hpp). Each kind
+/// stresses a different machine resource, so a mixed stream genuinely
+/// contends: Matmul rotates blocks over the mesh, Stencil exchanges halos
+/// by chained DMA, Offload streams results to shared DRAM over the eLink.
+enum class JobKind : std::uint8_t { Matmul, Stencil, Offload };
+
+[[nodiscard]] constexpr const char* to_string(JobKind k) noexcept {
+  switch (k) {
+    case JobKind::Matmul: return "matmul";
+    case JobKind::Stencil: return "stencil";
+    case JobKind::Offload: return "offload";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline bool parse_kind(std::string_view s, JobKind& out) noexcept {
+  if (s == "matmul") out = JobKind::Matmul;
+  else if (s == "stencil") out = JobKind::Stencil;
+  else if (s == "offload") out = JobKind::Offload;
+  else return false;
+  return true;
+}
+
+struct JobSpec {
+  std::uint32_t id = 0;
+  std::string tenant = "default";
+  JobKind kind = JobKind::Offload;
+  unsigned rows = 1;           // requested workgroup shape
+  unsigned cols = 1;
+  unsigned priority = 0;       // base priority; higher is more urgent
+  sim::Cycles arrival = 0;     // absolute submission cycle
+  sim::Cycles deadline = 0;    // absolute completion SLO; 0 = none (soft)
+  sim::Cycles timeout = 0;     // max cycles a job may wait unstarted; 0 = none
+  unsigned iters = 2;          // work parameter: steps / stencil iterations
+  unsigned block = 16;         // matmul block edge / stencil tile edge /
+                               // offload elements-per-core = block*block
+  unsigned launch_failures = 0;  // injected failures before a launch sticks
+};
+
+/// Terminal state of a job. Pending means still queued or running.
+enum class Verdict : std::uint8_t { Pending, Completed, Rejected, TimedOut, Failed };
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::Pending: return "pending";
+    case Verdict::Completed: return "completed";
+    case Verdict::Rejected: return "rejected";
+    case Verdict::TimedOut: return "timed-out";
+    case Verdict::Failed: return "failed";
+  }
+  return "?";
+}
+
+/// Everything the scheduler learned about one job, for reports and metrics.
+struct JobRecord {
+  JobSpec spec;
+  Verdict verdict = Verdict::Pending;
+  std::string detail;          // human-readable reason for non-completion
+  unsigned attempts = 0;       // launch attempts, including injected failures
+  sim::Cycles admitted = 0;    // cycle the job entered the pending queue
+  sim::Cycles started = 0;     // first cycle of kernel execution
+  sim::Cycles finished = 0;    // cycle the last core of the group retired
+  unsigned placed_row = 0;     // granted origin (valid once started)
+  unsigned placed_col = 0;
+  unsigned granted_rows = 0;   // granted shape (may be the rotated request)
+  unsigned granted_cols = 0;
+  bool deadline_met = true;    // false iff a deadline was set and missed
+
+  [[nodiscard]] sim::Cycles queue_wait() const noexcept {
+    return started >= admitted ? started - admitted : 0;
+  }
+  [[nodiscard]] sim::Cycles service() const noexcept {
+    return finished >= started ? finished - started : 0;
+  }
+  [[nodiscard]] sim::Cycles turnaround() const noexcept {
+    return finished >= spec.arrival ? finished - spec.arrival : 0;
+  }
+  [[nodiscard]] unsigned cores() const noexcept { return granted_rows * granted_cols; }
+};
+
+}  // namespace epi::sched

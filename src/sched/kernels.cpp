@@ -1,0 +1,148 @@
+#include "sched/kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/matmul.hpp"
+#include "core/matmul_schedule.hpp"
+#include "core/stencil.hpp"
+#include "core/stencil_detail.hpp"
+
+namespace epi::sched {
+
+namespace {
+
+using arch::Addr;
+using sim::Cycles;
+
+// Scratchpad layout for the matmul serving kernel (mirrors MatmulLayout's
+// regions; staging slots are disjoint from the rotated source blocks so a
+// neighbour's incoming block never lands on bytes still being sent).
+constexpr Addr kMatA = 0x4000;        // my A block (<= 4 KB)
+constexpr Addr kMatAStage = 0x5000;   // incoming A from the east
+constexpr Addr kMatB = 0x6000;        // my B block
+constexpr Addr kMatBStage = 0x7000;   // incoming B from the south
+constexpr Addr kOffloadData = 0x4000; // offload stripe
+
+sim::Op<void> matmul_job_kernel(device::CoreCtx& ctx, unsigned block, unsigned iters) {
+  const std::uint32_t bytes = block * block * static_cast<std::uint32_t>(sizeof(float));
+  const bool lone = ctx.group_rows() * ctx.group_cols() == 1;
+  for (unsigned step = 0; step < iters; ++step) {
+    co_await ctx.compute(
+        core::MatmulSchedule::block_cycles(block, block, block, core::Codegen::TunedAsm));
+    ctx.count_flops(core::MatmulSchedule::block_flops(block, block, block));
+    if (lone) continue;
+    // Rotate A westward and B northward (Cannon), then meet at the barrier
+    // before anyone starts the next block product.
+    const arch::CoreCoord west = ctx.neighbour_wrap(arch::Dir::West);
+    const arch::CoreCoord north = ctx.neighbour_wrap(arch::Dir::North);
+    co_await ctx.direct_write_block(ctx.global(west, kMatAStage), ctx.my_global(kMatA),
+                                    bytes);
+    co_await ctx.direct_write_block(ctx.global(north, kMatBStage), ctx.my_global(kMatB),
+                                    bytes);
+    co_await ctx.barrier();
+  }
+}
+
+sim::Op<void> offload_job_kernel(device::CoreCtx& ctx, unsigned elems, Addr shm_base) {
+  // The parallel_for shape: a caller-declared per-element rate over my
+  // stripe (2 cycles/element, a fused multiply-add with operand loads).
+  co_await ctx.compute(static_cast<Cycles>(2) * elems);
+  ctx.count_flops(2.0 * elems);
+  // Stream the result stripe to shared DRAM in 2 KB blocks (the Table II/III
+  // traffic pattern) -- this is where concurrent jobs fight for the eLink.
+  const std::uint32_t bytes = elems * static_cast<std::uint32_t>(sizeof(float));
+  const Addr dst = shm_base + static_cast<Addr>(ctx.group_index()) * bytes;
+  for (std::uint32_t off = 0; off < bytes; off += 2048) {
+    const std::uint32_t chunk = std::min<std::uint32_t>(2048, bytes - off);
+    co_await ctx.external_write_block(dst + off, ctx.my_global(kOffloadData + off % 0x3000),
+                                      chunk);
+  }
+}
+
+/// Host-side scrub of the runtime-reserved words (barrier arrival slots and
+/// the release word) for every core of the group. Cores are reused across
+/// jobs; a stale barrier generation from the previous occupant would satisfy
+/// a fresh kernel's wait_u32_ge immediately and desynchronise the group.
+void reset_runtime_words(host::System& sys, host::Workgroup& wg) {
+  auto& mem = sys.machine().mem();
+  for (unsigned r = 0; r < wg.info().rows; ++r) {
+    for (unsigned c = 0; c < wg.info().cols; ++c) {
+      auto& ctx = wg.ctx(r, c);
+      for (unsigned i = 0; i < wg.size(); ++i) {
+        mem.write_value<std::uint32_t>(
+            ctx.my_global(device::CoreCtx::kBarrierSlotsOffset + 4 * i), 0, ctx.coord());
+      }
+      mem.write_value<std::uint32_t>(ctx.my_global(device::CoreCtx::kBarrierReleaseOffset),
+                                     0, ctx.coord());
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t job_shm_bytes(const JobSpec& spec) {
+  if (spec.kind != JobKind::Offload) return 0;
+  const std::size_t elems = static_cast<std::size_t>(spec.block) * spec.block;
+  return elems * sizeof(float) * spec.rows * spec.cols;
+}
+
+double job_flops(const JobSpec& spec) {
+  const double cores = static_cast<double>(spec.rows) * spec.cols;
+  switch (spec.kind) {
+    case JobKind::Matmul:
+      return cores * spec.iters *
+             core::MatmulSchedule::block_flops(spec.block, spec.block, spec.block);
+    case JobKind::Stencil:
+      return cores * spec.iters *
+             core::StencilSchedule::iteration_flops(spec.block, spec.block);
+    case JobKind::Offload:
+      return cores * 2.0 * spec.block * spec.block;
+  }
+  return 0.0;
+}
+
+device::KernelFn prepare_job(host::System& sys, host::Workgroup& wg, const JobSpec& spec,
+                             arch::Addr shm_base) {
+  reset_runtime_words(sys, wg);
+  switch (spec.kind) {
+    case JobKind::Matmul: {
+      const unsigned block = std::min(spec.block, core::MatmulLayout::kMaxBlock);
+      const unsigned iters = std::max(1u, spec.iters);
+      return [block, iters](device::CoreCtx& ctx) -> sim::Op<void> {
+        return matmul_job_kernel(ctx, block, iters);
+      };
+    }
+    case JobKind::Stencil: {
+      core::StencilConfig cfg;
+      cfg.rows = std::max(4u, std::min(spec.block, 20u));
+      cfg.cols = cfg.rows;
+      cfg.iters = std::max(1u, spec.iters);
+      cfg.communicate = true;
+      // Serving groups reuse cores: re-arm the flag words before launch.
+      for (unsigned r = 0; r < wg.info().rows; ++r) {
+        for (unsigned c = 0; c < wg.info().cols; ++c) {
+          auto& ctx = wg.ctx(r, c);
+          const bool missing[4] = {r == 0, r + 1 == wg.info().rows, c == 0,
+                                   c + 1 == wg.info().cols};
+          core::detail::init_flags(sys, ctx, missing);
+        }
+      }
+      return [cfg](device::CoreCtx& ctx) -> sim::Op<void> {
+        return core::stencil_kernel(ctx, cfg, nullptr);
+      };
+    }
+    case JobKind::Offload: {
+      const unsigned elems = std::max(1u, spec.block) * std::max(1u, spec.block);
+      if (static_cast<std::size_t>(elems) * sizeof(float) > 0x3C00) {
+        throw std::invalid_argument("offload job stripe exceeds the per-core heap");
+      }
+      return [elems, shm_base](device::CoreCtx& ctx) -> sim::Op<void> {
+        return offload_job_kernel(ctx, elems, shm_base);
+      };
+    }
+  }
+  throw std::logic_error("unknown job kind");
+}
+
+}  // namespace epi::sched

@@ -1,0 +1,136 @@
+#include "sched/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/fmt.hpp"
+
+namespace epi::sched {
+
+sim::Cycles percentile(std::vector<sim::Cycles> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx];
+}
+
+RunStats summarise(const Scheduler& sched) {
+  RunStats rs;
+  rs.makespan = sched.makespan();
+  rs.utilisation = sched.utilisation();
+
+  std::map<std::string, TenantStats> tenants;  // ordered: deterministic output
+  std::map<std::string, std::vector<sim::Cycles>> tenant_waits, tenant_tats;
+  std::vector<sim::Cycles> waits, tats;
+
+  for (const JobRecord& rec : sched.records()) {
+    ++rs.jobs;
+    TenantStats& ts = tenants[rec.spec.tenant];
+    ts.tenant = rec.spec.tenant;
+    ++ts.submitted;
+    if (rec.spec.deadline != 0) {
+      ++rs.deadlines;
+      if (rec.verdict == Verdict::Completed && rec.deadline_met) ++rs.deadlines_met;
+    }
+    switch (rec.verdict) {
+      case Verdict::Completed:
+        ++rs.completed;
+        ++ts.completed;
+        ts.core_cycles += static_cast<double>(rec.cores()) *
+                          static_cast<double>(rec.service());
+        waits.push_back(rec.queue_wait());
+        tats.push_back(rec.turnaround());
+        tenant_waits[rec.spec.tenant].push_back(rec.queue_wait());
+        tenant_tats[rec.spec.tenant].push_back(rec.turnaround());
+        break;
+      case Verdict::Rejected: ++rs.rejected; ++ts.rejected; break;
+      case Verdict::TimedOut: ++rs.timed_out; ++ts.timed_out; break;
+      case Verdict::Failed: ++rs.failed; ++ts.failed; break;
+      case Verdict::Pending: break;  // only possible before run()
+    }
+  }
+
+  rs.wait_p50 = percentile(waits, 50.0);
+  rs.wait_p99 = percentile(waits, 99.0);
+  rs.turnaround_p50 = percentile(tats, 50.0);
+  rs.turnaround_p99 = percentile(tats, 99.0);
+  if (rs.makespan > 0) {
+    rs.throughput = static_cast<double>(rs.completed) /
+                    (static_cast<double>(rs.makespan) / 1e6);
+  }
+  for (auto& [name, ts] : tenants) {
+    ts.wait_p50 = percentile(tenant_waits[name], 50.0);
+    ts.wait_p99 = percentile(tenant_waits[name], 99.0);
+    ts.turnaround_p50 = percentile(tenant_tats[name], 50.0);
+    ts.turnaround_p99 = percentile(tenant_tats[name], 99.0);
+    rs.tenants.push_back(std::move(ts));
+  }
+  return rs;
+}
+
+std::string render_report(const Scheduler& sched) {
+  const RunStats rs = summarise(sched);
+  std::string out;
+  out += "== epi-serve run report ==\n";
+  out += util::format(
+      "jobs %u | completed %u rejected %u timed-out %u failed %u\n", rs.jobs,
+      rs.completed, rs.rejected, rs.timed_out, rs.failed);
+  out += util::format(
+      "makespan %llu cycles | throughput %.3f jobs/Mcycle | utilisation %.1f%% "
+      "| peak resident groups %u\n",
+      static_cast<unsigned long long>(rs.makespan), rs.throughput,
+      100.0 * rs.utilisation, sched.peak_resident());
+  out += util::format(
+      "queue wait p50/p99 %llu/%llu | turnaround p50/p99 %llu/%llu\n",
+      static_cast<unsigned long long>(rs.wait_p50),
+      static_cast<unsigned long long>(rs.wait_p99),
+      static_cast<unsigned long long>(rs.turnaround_p50),
+      static_cast<unsigned long long>(rs.turnaround_p99));
+  if (rs.deadlines > 0) {
+    out += util::format("deadlines met %u/%u (%.1f%%)\n", rs.deadlines_met,
+                        rs.deadlines,
+                        100.0 * rs.deadlines_met / rs.deadlines);
+  }
+  out += util::format("final fragmentation %.3f (%u cores free)\n",
+                      sched.allocator().fragmentation(),
+                      sched.allocator().free_cores());
+
+  out += "\n-- tenants --\n";
+  for (const TenantStats& ts : rs.tenants) {
+    out += util::format(
+        "%-10s sub %3u ok %3u rej %2u to %2u fail %2u | wait p50/p99 "
+        "%llu/%llu | core-cycles %.0f\n",
+        ts.tenant.c_str(), ts.submitted, ts.completed, ts.rejected, ts.timed_out,
+        ts.failed, static_cast<unsigned long long>(ts.wait_p50),
+        static_cast<unsigned long long>(ts.wait_p99), ts.core_cycles);
+  }
+
+  out += "\n-- jobs --\n";
+  for (const JobRecord& rec : sched.records()) {
+    out += util::format(
+        "job %3u %-7s %-8s %ux%u prio %u arrive %8llu", rec.spec.id,
+        to_string(rec.spec.kind), to_string(rec.verdict), rec.spec.rows,
+        rec.spec.cols, rec.spec.priority,
+        static_cast<unsigned long long>(rec.spec.arrival));
+    if (rec.verdict == Verdict::Completed) {
+      out += util::format(
+          " | at (%u,%u) %ux%u wait %7llu service %8llu attempts %u%s",
+          rec.placed_row, rec.placed_col, rec.granted_rows, rec.granted_cols,
+          static_cast<unsigned long long>(rec.queue_wait()),
+          static_cast<unsigned long long>(rec.service()), rec.attempts,
+          rec.spec.deadline == 0 ? ""
+          : rec.deadline_met    ? " deadline-met"
+                                : " DEADLINE-MISSED");
+    } else if (!rec.detail.empty()) {
+      out += " | " + rec.detail;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace epi::sched

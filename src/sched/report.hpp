@@ -1,0 +1,58 @@
+#pragma once
+// Serving-run accounting: percentile summaries, per-tenant aggregation, and
+// the deterministic text report epi_serve prints. Everything here is a pure
+// function of the scheduler's JobRecords (plus makespan/utilisation), so two
+// same-seed runs render byte-identical reports -- the CLI's --selftest and
+// the ctest determinism check compare these bytes directly.
+
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+#include "sched/scheduler.hpp"
+
+namespace epi::sched {
+
+/// Nearest-rank percentile (p in [0,100]) of a sample set; 0 when empty.
+/// Sorts a copy: report-time cost, never scheduler-path cost.
+[[nodiscard]] sim::Cycles percentile(std::vector<sim::Cycles> samples, double p);
+
+struct TenantStats {
+  std::string tenant;
+  unsigned submitted = 0;
+  unsigned completed = 0;
+  unsigned rejected = 0;
+  unsigned timed_out = 0;
+  unsigned failed = 0;
+  double core_cycles = 0.0;       // cores x service over completed jobs
+  sim::Cycles wait_p50 = 0;       // queue-wait percentiles over started jobs
+  sim::Cycles wait_p99 = 0;
+  sim::Cycles turnaround_p50 = 0; // arrival->finish over completed jobs
+  sim::Cycles turnaround_p99 = 0;
+};
+
+struct RunStats {
+  unsigned jobs = 0;
+  unsigned completed = 0;
+  unsigned rejected = 0;
+  unsigned timed_out = 0;
+  unsigned failed = 0;
+  unsigned deadlines = 0;      // jobs that carried a deadline
+  unsigned deadlines_met = 0;
+  sim::Cycles makespan = 0;
+  double utilisation = 0.0;    // busy core-cycles / (cores * makespan)
+  double throughput = 0.0;     // completed jobs per Mcycle
+  sim::Cycles wait_p50 = 0, wait_p99 = 0;
+  sim::Cycles turnaround_p50 = 0, turnaround_p99 = 0;
+  std::vector<TenantStats> tenants;  // sorted by tenant name
+};
+
+/// Aggregate a finished scheduler run.
+[[nodiscard]] RunStats summarise(const Scheduler& sched);
+
+/// Render the full epi_serve report: run summary, per-tenant table, and the
+/// per-job verdict listing (every job appears with its verdict -- timeouts
+/// and failures are reported, never silently dropped).
+[[nodiscard]] std::string render_report(const Scheduler& sched);
+
+}  // namespace epi::sched

@@ -1,0 +1,396 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "sched/kernels.hpp"
+#include "trace/tracer.hpp"
+#include "util/fmt.hpp"
+
+namespace epi::sched {
+
+namespace {
+constexpr sim::Cycles kNever = std::numeric_limits<sim::Cycles>::max();
+}  // namespace
+
+Scheduler::Scheduler(host::System& sys, SchedConfig cfg)
+    : sys_(&sys), cfg_(cfg), alloc_(sys.machine().dims()) {
+  if (cfg_.queue_capacity == 0) {
+    throw std::invalid_argument("SchedConfig::queue_capacity must be at least 1");
+  }
+  if (cfg_.aging_quantum == 0) cfg_.aging_quantum = 1;
+  if (cfg_.max_attempts == 0) cfg_.max_attempts = 1;
+  // When the machine traces, scheduler metrics live in the tracer's registry
+  // so queue depth / cores busy land on the Perfetto timeline next to the
+  // cores' own spans; otherwise keep a private registry.
+  if (auto* tr = sys.machine().tracer()) {
+    counters_ = &tr->counters();
+  } else {
+    owned_counters_ = std::make_unique<trace::Counters>();
+    counters_ = owned_counters_.get();
+  }
+  define_counters();
+}
+
+void Scheduler::define_counters() {
+  using K = trace::Counters::Kind;
+  c_submitted_ = counters_->define("sched.jobs.submitted", K::Monotonic);
+  c_admitted_ = counters_->define("sched.jobs.admitted", K::Monotonic);
+  c_rejected_ = counters_->define("sched.jobs.rejected", K::Monotonic);
+  c_completed_ = counters_->define("sched.jobs.completed", K::Monotonic);
+  c_timedout_ = counters_->define("sched.jobs.timed_out", K::Monotonic);
+  c_failed_ = counters_->define("sched.jobs.failed", K::Monotonic);
+  c_launch_failures_ = counters_->define("sched.launch.failures", K::Monotonic);
+  c_retries_ = counters_->define("sched.launch.retries", K::Monotonic);
+  c_busy_cycles_ = counters_->define("sched.core_cycles.busy", K::Monotonic);
+  g_queue_depth_ = counters_->define("sched.queue.depth", K::Gauge);
+  g_running_ = counters_->define("sched.jobs.running", K::Gauge);
+  g_cores_busy_ = counters_->define("sched.cores.busy", K::Gauge);
+}
+
+void Scheduler::bump(trace::Counters::Id id, double delta) {
+  if (auto* tr = sys_->machine().tracer()) {
+    tr->count(id, sys_->engine().now(), delta);
+  } else {
+    counters_->add(id, delta);
+  }
+}
+
+void Scheduler::gauge(trace::Counters::Id id, double value) {
+  if (auto* tr = sys_->machine().tracer()) {
+    tr->sample(id, sys_->engine().now(), value);
+  } else {
+    counters_->set(id, value);
+  }
+}
+
+trace::Counters::Id Scheduler::tenant_counter(const std::string& tenant,
+                                              const char* what) {
+  return counters_->define("sched.tenant." + tenant + "." + what,
+                           trace::Counters::Kind::Monotonic);
+}
+
+void Scheduler::log_event(const std::string& line) { log_.push_back(line); }
+
+void Scheduler::submit(JobSpec spec) {
+  if (ran_) throw std::logic_error("Scheduler::submit after run()");
+  JobRecord rec;
+  rec.spec = std::move(spec);
+  records_.push_back(std::move(rec));
+}
+
+double Scheduler::effective_priority(const Pending& p, sim::Cycles now) const {
+  const JobSpec& spec = records_[p.rec].spec;
+  const sim::Cycles waited = now >= p.enqueued ? now - p.enqueued : 0;
+  return static_cast<double>(spec.priority) +
+         static_cast<double>(waited / cfg_.aging_quantum);
+}
+
+void Scheduler::resolve(JobRecord& rec, Verdict v, sim::Cycles now,
+                        std::string detail) {
+  rec.verdict = v;
+  rec.detail = std::move(detail);
+  if (rec.finished == 0 && v != Verdict::Completed) rec.finished = now;
+  ++resolved_;
+  makespan_ = std::max(makespan_, v == Verdict::Completed ? rec.finished : now);
+  switch (v) {
+    case Verdict::Completed:
+      bump(c_completed_, 1.0);
+      bump(tenant_counter(rec.spec.tenant, "completed"), 1.0);
+      break;
+    case Verdict::Rejected:
+      bump(c_rejected_, 1.0);
+      bump(tenant_counter(rec.spec.tenant, "rejected"), 1.0);
+      break;
+    case Verdict::TimedOut:
+      bump(c_timedout_, 1.0);
+      bump(tenant_counter(rec.spec.tenant, "timed_out"), 1.0);
+      break;
+    case Verdict::Failed:
+      bump(c_failed_, 1.0);
+      bump(tenant_counter(rec.spec.tenant, "failed"), 1.0);
+      break;
+    case Verdict::Pending:
+      throw std::logic_error("resolve to Pending");
+  }
+}
+
+bool Scheduler::admit_arrivals(sim::Cycles now) {
+  bool progress = false;
+  while (next_arrival_ < arrivals_.size() &&
+         records_[arrivals_[next_arrival_]].spec.arrival <= now) {
+    const std::uint32_t idx = arrivals_[next_arrival_++];
+    JobRecord& rec = records_[idx];
+    const JobSpec& spec = rec.spec;
+    progress = true;
+    bump(c_submitted_, 1.0);
+    bump(tenant_counter(spec.tenant, "submitted"), 1.0);
+    log_event(util::format("@%llu submit job=%u tenant=%s kind=%s shape=%ux%u prio=%u",
+                        static_cast<unsigned long long>(now), spec.id,
+                        spec.tenant.c_str(), to_string(spec.kind), spec.rows,
+                        spec.cols, spec.priority));
+    if (!alloc_.fits_ever(spec.rows, spec.cols, cfg_.allow_rotate)) {
+      resolve(rec, Verdict::Rejected, now,
+              util::format("shape %ux%u cannot fit the %ux%u mesh", spec.rows,
+                        spec.cols, alloc_.dims().rows, alloc_.dims().cols));
+      log_event(util::format("@%llu reject job=%u reason=unsatisfiable-shape",
+                          static_cast<unsigned long long>(now), spec.id));
+      continue;
+    }
+    if (pending_.size() >= cfg_.queue_capacity) {
+      resolve(rec, Verdict::Rejected, now,
+              util::format("admission queue full (%zu pending)", pending_.size()));
+      log_event(util::format("@%llu reject job=%u reason=queue-full",
+                          static_cast<unsigned long long>(now), spec.id));
+      continue;
+    }
+    rec.admitted = now;
+    pending_.push_back(Pending{idx, now, 0});
+    bump(c_admitted_, 1.0);
+    gauge(g_queue_depth_, static_cast<double>(pending_.size()));
+    log_event(util::format("@%llu admit job=%u depth=%zu",
+                        static_cast<unsigned long long>(now), spec.id,
+                        pending_.size()));
+  }
+  return progress;
+}
+
+bool Scheduler::reap_completed(sim::Cycles now) {
+  bool progress = false;
+  for (std::size_t i = 0; i < running_.size();) {
+    Running& run = running_[i];
+    if (!run.wg->complete()) {
+      ++i;
+      continue;
+    }
+    progress = true;
+    JobRecord& rec = records_[run.rec];
+    rec.finished = run.wg->finish_time();
+    busy_core_cycles_ += static_cast<double>(run.placement.cores()) *
+                         static_cast<double>(rec.finished - rec.started);
+    bump(c_busy_cycles_, static_cast<double>(run.placement.cores()) *
+                             static_cast<double>(rec.finished - rec.started));
+    rec.deadline_met = rec.spec.deadline == 0 || rec.finished <= rec.spec.deadline;
+    std::string fail_detail;
+    if (run.wg->any_failed()) {
+      try {
+        run.wg->rethrow_errors();
+      } catch (const std::exception& e) {
+        fail_detail = e.what();
+      } catch (...) {
+        fail_detail = "unknown kernel error";
+      }
+    }
+    run.wg.reset();  // release the core reservation before freeing the rect
+    alloc_.free(run.placement);
+    if (!fail_detail.empty()) {
+      resolve(rec, Verdict::Failed, now, "kernel error: " + fail_detail);
+      log_event(util::format("@%llu fail job=%u reason=kernel-error",
+                          static_cast<unsigned long long>(now), rec.spec.id));
+    } else {
+      resolve(rec, Verdict::Completed, now, "");
+      log_event(util::format(
+          "@%llu finish job=%u cycles=%llu deadline=%s frag=%.3f",
+          static_cast<unsigned long long>(now), rec.spec.id,
+          static_cast<unsigned long long>(rec.service()),
+          rec.spec.deadline == 0 ? "n/a" : (rec.deadline_met ? "met" : "missed"),
+          alloc_.fragmentation()));
+    }
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+    gauge(g_running_, static_cast<double>(running_.size()));
+    gauge(g_cores_busy_, static_cast<double>(alloc_.used_cores()));
+  }
+  return progress;
+}
+
+bool Scheduler::drop_timed_out(sim::Cycles now) {
+  bool progress = false;
+  for (std::size_t i = 0; i < pending_.size();) {
+    JobRecord& rec = records_[pending_[i].rec];
+    const JobSpec& spec = rec.spec;
+    if (spec.timeout == 0 || now < rec.admitted + spec.timeout) {
+      ++i;
+      continue;
+    }
+    progress = true;
+    resolve(rec, Verdict::TimedOut, now,
+            util::format("not started within %llu cycles of admission",
+                      static_cast<unsigned long long>(spec.timeout)));
+    log_event(util::format("@%llu timeout job=%u waited=%llu",
+                        static_cast<unsigned long long>(now), spec.id,
+                        static_cast<unsigned long long>(now - rec.admitted)));
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    gauge(g_queue_depth_, static_cast<double>(pending_.size()));
+  }
+  return progress;
+}
+
+bool Scheduler::launch(Pending& p, sim::Cycles now) {
+  JobRecord& rec = records_[p.rec];
+  const JobSpec& spec = rec.spec;
+  auto placement = alloc_.place(spec.rows, spec.cols, cfg_.allow_rotate);
+  if (!placement) return false;
+
+  ++rec.attempts;
+  if (rec.attempts <= spec.launch_failures) {
+    // Injected transient launch failure (a real e_load/e_start can fail and
+    // is retried by robust hosts). The rectangle is returned immediately;
+    // the job backs off exponentially before its next attempt.
+    alloc_.free(*placement);
+    bump(c_launch_failures_, 1.0);
+    if (rec.attempts >= cfg_.max_attempts) {
+      resolve(rec, Verdict::Failed, now,
+              util::format("launch failed %u times", rec.attempts));
+      log_event(util::format("@%llu fail job=%u reason=launch-failed attempts=%u",
+                          static_cast<unsigned long long>(now), spec.id,
+                          rec.attempts));
+      return true;  // terminal: caller removes the job from pending_
+    }
+    const sim::Cycles backoff = cfg_.retry_backoff
+                                << std::min(rec.attempts - 1, 20u);
+    p.retry_at = now + backoff;
+    bump(c_retries_, 1.0);
+    log_event(util::format("@%llu launch-fail job=%u attempt=%u retry_at=%llu",
+                        static_cast<unsigned long long>(now), spec.id,
+                        rec.attempts,
+                        static_cast<unsigned long long>(p.retry_at)));
+    return false;
+  }
+
+  host::Workgroup wg = sys_->open(placement->origin.row, placement->origin.col,
+                                  placement->rows, placement->cols);
+  wg.set_label(util::format("job %u", spec.id));
+  arch::Addr shm_base = 0;
+  if (const std::size_t shm = job_shm_bytes(spec); shm > 0) {
+    shm_base = sys_->shm_alloc(shm);
+  }
+  wg.load(prepare_job(*sys_, wg, spec, shm_base));
+
+  rec.started = now;
+  rec.placed_row = placement->origin.row;
+  rec.placed_col = placement->origin.col;
+  rec.granted_rows = placement->rows;
+  rec.granted_cols = placement->cols;
+
+  auto& slot = running_.emplace_back(
+      Running{p.rec, *placement, std::make_unique<host::Workgroup>(std::move(wg))});
+  // start() only after the Workgroup reached its stable heap address: the
+  // kernel coroutines capture pointers into it.
+  slot.wg->start();
+  peak_resident_ = std::max(peak_resident_, static_cast<unsigned>(running_.size()));
+  gauge(g_running_, static_cast<double>(running_.size()));
+  gauge(g_cores_busy_, static_cast<double>(alloc_.used_cores()));
+  log_event(util::format(
+      "@%llu place job=%u origin=(%u,%u) shape=%ux%u%s wait=%llu frag=%.3f",
+      static_cast<unsigned long long>(now), spec.id, rec.placed_row,
+      rec.placed_col, rec.granted_rows, rec.granted_cols,
+      placement->rotated ? " rotated" : "",
+      static_cast<unsigned long long>(rec.queue_wait()), alloc_.fragmentation()));
+  return true;
+}
+
+void Scheduler::try_place(sim::Cycles now) {
+  if (pending_.empty()) return;
+  // Order candidates by aged priority (descending), admission order as the
+  // tie-break. Indices, not Pending copies: launch() mutates retry state.
+  std::vector<std::size_t> order(pending_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return effective_priority(pending_[a], now) >
+           effective_priority(pending_[b], now);
+  });
+
+  std::vector<std::size_t> launched;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    Pending& p = pending_[order[k]];
+    JobRecord& rec = records_[p.rec];
+    if (p.retry_at > now) continue;  // still backing off
+    if (launch(p, now)) {
+      launched.push_back(order[k]);
+      continue;
+    }
+    if (rec.started == 0 && p.retry_at <= now && k == 0 &&
+        now >= p.enqueued + cfg_.head_block_wait) {
+      // The highest-priority waiter is starving for space: stop backfilling
+      // smaller jobs behind it, or a stream of 1x1s would starve an 8x8.
+      log_event(util::format("@%llu head-block job=%u waited=%llu",
+                          static_cast<unsigned long long>(now), rec.spec.id,
+                          static_cast<unsigned long long>(now - p.enqueued)));
+      break;
+    }
+  }
+  if (!launched.empty()) {
+    std::sort(launched.begin(), launched.end());
+    for (std::size_t i = launched.size(); i-- > 0;) {
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(launched[i]));
+    }
+    gauge(g_queue_depth_, static_cast<double>(pending_.size()));
+  }
+}
+
+sim::Cycles Scheduler::next_wakeup(sim::Cycles now) const {
+  sim::Cycles t = kNever;
+  if (next_arrival_ < arrivals_.size()) {
+    t = std::min(t, std::max(records_[arrivals_[next_arrival_]].spec.arrival,
+                             now + 1));
+  }
+  for (const Pending& p : pending_) {
+    const JobSpec& spec = records_[p.rec].spec;
+    if (p.retry_at > now) t = std::min(t, p.retry_at);
+    if (spec.timeout != 0) {
+      const sim::Cycles deadline = records_[p.rec].admitted + spec.timeout;
+      t = std::min(t, std::max(deadline, now + 1));
+    }
+  }
+  return t;
+}
+
+void Scheduler::run() {
+  if (ran_) throw std::logic_error("Scheduler::run called twice");
+  ran_ = true;
+  arrivals_.resize(records_.size());
+  for (std::uint32_t i = 0; i < records_.size(); ++i) arrivals_[i] = i;
+  std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (records_[a].spec.arrival != records_[b].spec.arrival) {
+                       return records_[a].spec.arrival < records_[b].spec.arrival;
+                     }
+                     return records_[a].spec.id < records_[b].spec.id;
+                   });
+
+  sim::Engine& eng = sys_->engine();
+  while (resolved_ < records_.size()) {
+    const sim::Cycles now = eng.now();
+    bool progress = true;
+    while (progress) {
+      progress = admit_arrivals(now);
+      progress = reap_completed(now) || progress;
+      progress = drop_timed_out(now) || progress;
+      try_place(now);
+    }
+    if (resolved_ >= records_.size()) break;
+    if (eng.step()) continue;
+    // No device events runnable. If groups are still resident their kernels
+    // are deadlocked; otherwise hop host time forward to the next arrival,
+    // retry, or timeout horizon.
+    if (!running_.empty()) {
+      throw sim::DeadlockError(eng.live_processes(), eng.live_process_names());
+    }
+    const sim::Cycles t = next_wakeup(now);
+    if (t == kNever) {
+      throw std::logic_error("scheduler stalled with unresolved jobs and no horizon");
+    }
+    eng.call_at(t, [] {});
+  }
+  makespan_ = std::max(makespan_, eng.now());
+}
+
+double Scheduler::utilisation() const noexcept {
+  if (makespan_ == 0) return 0.0;
+  return busy_core_cycles_ / (static_cast<double>(alloc_.dims().core_count()) *
+                              static_cast<double>(makespan_));
+}
+
+}  // namespace epi::sched

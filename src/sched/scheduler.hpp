@@ -1,0 +1,140 @@
+#pragma once
+// epi-serve: a multi-tenant job scheduler for the 8x8 mesh.
+//
+// The paper runs one hand-placed workgroup at a time (section III's
+// e_open / e_load / e_start flow). A production-scale system must instead
+// treat the chip as a shared, schedulable resource: a stream of jobs
+// arrives, each wanting a rectangle of cores, and many workgroups are
+// resident *concurrently* inside one simulation -- so jobs genuinely fight
+// over mesh links, the eLink, and shared-DRAM bandwidth.
+//
+// The Scheduler is host-side orchestration (untimed, like every host action
+// in this model) driving the shared sim::Engine itself:
+//
+//   * admission control -- a bounded pending queue; jobs past capacity, or
+//     with shapes that could never fit the mesh, are rejected on arrival;
+//   * placement        -- first-fit rectangular placement via MeshAllocator,
+//     enforced by the machine's CoreReservations (Workgroup RAII);
+//   * priority aging   -- effective priority grows with queue wait, and a
+//     starving queue head blocks backfill behind it, so a big low-priority
+//     job cannot be starved forever by a stream of small urgent ones;
+//   * retry w/ backoff -- launch failures (injected by the traffic model;
+//     real eSDK launches fail transiently) are retried with exponential
+//     backoff up to a bounded attempt budget;
+//   * timeouts         -- a job that cannot start within its timeout is
+//     dropped with a TimedOut verdict; deadlines are soft SLOs tracked in
+//     the metrics (hit-rate), never enforced by killing kernels;
+//   * metrics          -- per-job records plus counters (queue depth, cores
+//     busy, completions per tenant, ...) through trace::Counters; with
+//     machine tracing enabled the samples land on the Perfetto timeline
+//     alongside the cores' own spans.
+//
+// Determinism: every decision is a pure function of (job stream, config,
+// engine event order). Two runs with the same seed produce byte-identical
+// event logs, reports, and metrics; tests assert this.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/system.hpp"
+#include "sched/allocator.hpp"
+#include "sched/job.hpp"
+#include "trace/counters.hpp"
+
+namespace epi::sched {
+
+struct SchedConfig {
+  std::size_t queue_capacity = 64;     // pending jobs; beyond this, reject
+  sim::Cycles aging_quantum = 100'000; // +1 effective priority per quantum waited
+  unsigned max_attempts = 4;           // launch attempts before Failed
+  sim::Cycles retry_backoff = 25'000;  // first retry delay; doubles per attempt
+  sim::Cycles head_block_wait = 500'000;  // starved-head threshold: stop
+                                          // backfilling smaller jobs past a
+                                          // head that has waited this long
+  bool allow_rotate = true;            // try the transposed shape when placing
+};
+
+class Scheduler {
+public:
+  explicit Scheduler(host::System& sys, SchedConfig cfg = {});
+
+  /// Enqueue a job for its arrival time. Call before run(); the stream is
+  /// replayed in arrival order regardless of submission order.
+  void submit(JobSpec spec);
+
+  /// Drive the shared engine until every submitted job has a terminal
+  /// verdict. Jobs already resident keep running while new ones are placed;
+  /// host scheduling actions are untimed, matching the paper's methodology.
+  void run();
+
+  [[nodiscard]] const std::vector<JobRecord>& records() const noexcept {
+    return records_;
+  }
+  /// Deterministic, append-only decision log ("@cycle event job=N ...").
+  [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
+    return log_;
+  }
+  [[nodiscard]] const MeshAllocator& allocator() const noexcept { return alloc_; }
+  [[nodiscard]] trace::Counters& counters() noexcept { return *counters_; }
+
+  /// Cycle the last job resolved (makespan of the whole served stream).
+  [[nodiscard]] sim::Cycles makespan() const noexcept { return makespan_; }
+  /// Busy core-cycles / (64 * makespan): the chip-level duty factor.
+  [[nodiscard]] double utilisation() const noexcept;
+  /// Peak number of workgroups resident at once during the run.
+  [[nodiscard]] unsigned peak_resident() const noexcept { return peak_resident_; }
+
+private:
+  struct Pending {
+    std::uint32_t rec;        // index into records_
+    sim::Cycles enqueued;     // admission cycle (aging baseline)
+    sim::Cycles retry_at;     // earliest next launch attempt (backoff)
+  };
+  struct Running {
+    std::uint32_t rec;
+    Placement placement;
+    std::unique_ptr<host::Workgroup> wg;  // stable address: kernels point in
+  };
+
+  void log_event(const std::string& line);
+  [[nodiscard]] double effective_priority(const Pending& p, sim::Cycles now) const;
+  bool admit_arrivals(sim::Cycles now);
+  bool reap_completed(sim::Cycles now);
+  bool drop_timed_out(sim::Cycles now);
+  void try_place(sim::Cycles now);
+  bool launch(Pending& p, sim::Cycles now);
+  void resolve(JobRecord& rec, Verdict v, sim::Cycles now, std::string detail);
+  [[nodiscard]] sim::Cycles next_wakeup(sim::Cycles now) const;
+
+  void define_counters();
+  void bump(trace::Counters::Id id, double delta);
+  void gauge(trace::Counters::Id id, double value);
+  trace::Counters::Id tenant_counter(const std::string& tenant, const char* what);
+
+  host::System* sys_;
+  SchedConfig cfg_;
+  MeshAllocator alloc_;
+  std::vector<JobRecord> records_;   // submission order
+  std::vector<std::uint32_t> arrivals_;  // record indices, (arrival, id) order
+  std::size_t next_arrival_ = 0;
+  std::vector<Pending> pending_;     // admission order
+  std::vector<Running> running_;
+  std::vector<std::string> log_;
+  std::size_t resolved_ = 0;
+  sim::Cycles makespan_ = 0;
+  double busy_core_cycles_ = 0.0;
+  unsigned peak_resident_ = 0;
+  bool ran_ = false;
+
+  // Counters live in the tracer's registry when tracing is enabled (so the
+  // samples join the Perfetto export); otherwise in a private registry.
+  std::unique_ptr<trace::Counters> owned_counters_;
+  trace::Counters* counters_ = nullptr;
+  trace::Counters::Id c_submitted_, c_admitted_, c_rejected_, c_completed_,
+      c_timedout_, c_failed_, c_launch_failures_, c_retries_, c_busy_cycles_,
+      g_queue_depth_, g_running_, g_cores_busy_;
+};
+
+}  // namespace epi::sched

@@ -1,0 +1,157 @@
+#include "sched/workload.hpp"
+
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "util/fmt.hpp"
+
+namespace epi::sched {
+
+namespace {
+
+// Workgroup shapes a serving job may request, with draw weights biased
+// toward small groups (the realistic mix: many small tenants, occasional
+// large jobs that exercise head-of-line blocking and fragmentation).
+struct ShapeChoice {
+  unsigned rows, cols, weight;
+};
+constexpr ShapeChoice kShapes[] = {
+    {1, 1, 4}, {1, 2, 3}, {2, 2, 4}, {2, 4, 3},
+    {4, 4, 3}, {2, 8, 1}, {4, 8, 1}, {8, 8, 1},
+};
+
+unsigned weighted_draw(sim::Rng& rng, const unsigned* weights, unsigned n) {
+  unsigned total = 0;
+  for (unsigned i = 0; i < n; ++i) total += weights[i];
+  std::uint64_t r = rng.next_below(total);
+  for (unsigned i = 0; i < n; ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return n - 1;
+}
+
+}  // namespace
+
+std::vector<JobSpec> generate(const TrafficConfig& cfg) {
+  if (cfg.tenants.empty()) {
+    throw std::invalid_argument("TrafficConfig::tenants must not be empty");
+  }
+  sim::Rng rng(cfg.seed);
+  const unsigned kind_weights[3] = {cfg.matmul_weight, cfg.stencil_weight,
+                                    cfg.offload_weight};
+  unsigned shape_weights[std::size(kShapes)];
+  for (unsigned i = 0; i < std::size(kShapes); ++i) shape_weights[i] = kShapes[i].weight;
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(cfg.jobs);
+  sim::Cycles t = 0;
+  for (unsigned i = 0; i < cfg.jobs; ++i) {
+    JobSpec s;
+    s.id = i;
+    s.tenant = cfg.tenants[rng.next_below(cfg.tenants.size())];
+    s.kind = static_cast<JobKind>(weighted_draw(rng, kind_weights, 3));
+    const ShapeChoice& shape =
+        kShapes[weighted_draw(rng, shape_weights, std::size(kShapes))];
+    s.rows = shape.rows;
+    s.cols = shape.cols;
+    s.priority = static_cast<unsigned>(rng.next_below(4));
+    // Geometric-flavoured gap around the mean: uniform in [mean/2, 3*mean/2)
+    // keeps bursts and lulls without heavy tails that would make short
+    // benches unrepresentative.
+    if (cfg.mean_interarrival > 0 && i > 0) {
+      t += cfg.mean_interarrival / 2 + rng.next_below(cfg.mean_interarrival);
+    }
+    s.arrival = t;
+    s.iters = 1 + static_cast<unsigned>(rng.next_below(3));
+    switch (s.kind) {
+      case JobKind::Matmul: s.block = 8u << rng.next_below(3); break;   // 8/16/32
+      case JobKind::Stencil: s.block = 8 + 4 * static_cast<unsigned>(rng.next_below(4)); break;
+      case JobKind::Offload: s.block = 16u << rng.next_below(2); break; // 16/32
+    }
+    if (rng.next_float() < cfg.fail_prob) {
+      s.launch_failures = 1 + static_cast<unsigned>(rng.next_below(2));
+    }
+    if (rng.next_float() < cfg.deadline_prob) {
+      s.deadline = s.arrival + 2'000'000 + rng.next_below(2'000'000);
+    }
+    s.timeout = cfg.timeout;
+    jobs.push_back(std::move(s));
+  }
+  return jobs;
+}
+
+std::string save(const std::vector<JobSpec>& jobs) {
+  std::string out = "# epi-serve workload (one job per line)\n";
+  for (const JobSpec& s : jobs) {
+    out += util::format(
+        "job id=%u tenant=%s kind=%s rows=%u cols=%u prio=%u arrival=%llu "
+        "deadline=%llu timeout=%llu iters=%u block=%u failures=%u\n",
+        s.id, s.tenant.c_str(), to_string(s.kind), s.rows, s.cols, s.priority,
+        static_cast<unsigned long long>(s.arrival),
+        static_cast<unsigned long long>(s.deadline),
+        static_cast<unsigned long long>(s.timeout), s.iters, s.block,
+        s.launch_failures);
+  }
+  return out;
+}
+
+std::vector<JobSpec> load(std::istream& in) {
+  std::vector<JobSpec> jobs;
+  std::string line;
+  unsigned lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto fail = [&](const std::string& why) -> std::runtime_error {
+      return std::runtime_error(
+          util::format("workload line %u: %s", lineno, why.c_str()));
+    };
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;  // blank or comment
+    if (word != "job") throw fail("expected 'job', got '" + word + "'");
+    JobSpec s;
+    while (ls >> word) {
+      const auto eq = word.find('=');
+      if (eq == std::string::npos) throw fail("field '" + word + "' is not key=value");
+      const std::string key = word.substr(0, eq);
+      const std::string val = word.substr(eq + 1);
+      try {
+        if (key == "id") s.id = static_cast<std::uint32_t>(std::stoul(val));
+        else if (key == "tenant") s.tenant = val;
+        else if (key == "kind") {
+          if (!parse_kind(val, s.kind)) throw fail("unknown kind '" + val + "'");
+        }
+        else if (key == "rows") s.rows = static_cast<unsigned>(std::stoul(val));
+        else if (key == "cols") s.cols = static_cast<unsigned>(std::stoul(val));
+        else if (key == "prio") s.priority = static_cast<unsigned>(std::stoul(val));
+        else if (key == "arrival") s.arrival = std::stoull(val);
+        else if (key == "deadline") s.deadline = std::stoull(val);
+        else if (key == "timeout") s.timeout = std::stoull(val);
+        else if (key == "iters") s.iters = static_cast<unsigned>(std::stoul(val));
+        else if (key == "block") s.block = static_cast<unsigned>(std::stoul(val));
+        else if (key == "failures") s.launch_failures = static_cast<unsigned>(std::stoul(val));
+        else throw fail("unknown field '" + key + "'");
+      } catch (const std::invalid_argument&) {
+        throw fail("field '" + key + "' has non-numeric value '" + val + "'");
+      } catch (const std::out_of_range&) {
+        throw fail("field '" + key + "' value out of range: '" + val + "'");
+      }
+    }
+    if (s.rows == 0 || s.cols == 0) throw fail("job shape must be at least 1x1");
+    jobs.push_back(std::move(s));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open workload spec: " + path);
+  return load(in);
+}
+
+}  // namespace epi::sched

@@ -156,20 +156,16 @@ public:
   /// keeps per-element functional traffic (DMA chunk commits) cheap.
   void count(Counters::Id id, sim::Cycles t, double delta) {
     counters_.add(id, delta);
-    if (id >= last_sample_.size()) last_sample_.resize(id + 1, kNoEvent);
-    const std::uint32_t last = last_sample_[id];
-    if (last != kNoEvent && events_[last].t == t &&
-        events_[last].type == Event::Type::Counter && events_[last].track == id) {
-      events_[last].value = counters_.value(id);
-      return;
-    }
-    last_sample_[id] = static_cast<std::uint32_t>(events_.size());
-    Event e;
-    e.type = Event::Type::Counter;
-    e.track = id;
-    e.t = t;
-    e.value = counters_.value(id);
-    events_.push_back(e);
+    push_sample(id, t);
+  }
+
+  /// Set a Gauge counter to an absolute level and record a sample (same
+  /// per-cycle coalescing as count()). Levels -- queue depth, resident
+  /// workgroups, cores busy -- move both ways, so they cannot go through the
+  /// delta path.
+  void sample(Counters::Id id, sim::Cycles t, double value) {
+    counters_.set(id, value);
+    push_sample(id, t);
   }
 
   // ---- eCore phase spans -------------------------------------------------
@@ -330,6 +326,25 @@ public:
 private:
   static constexpr std::uint32_t kNoTrack = ~std::uint32_t{0};
   static constexpr std::uint32_t kNoEvent = ~std::uint32_t{0};
+
+  /// Record a Counter sample of `id`'s current value at `t`, coalescing with
+  /// the previous sample when it landed on the same cycle.
+  void push_sample(Counters::Id id, sim::Cycles t) {
+    if (id >= last_sample_.size()) last_sample_.resize(id + 1, kNoEvent);
+    const std::uint32_t last = last_sample_[id];
+    if (last != kNoEvent && events_[last].t == t &&
+        events_[last].type == Event::Type::Counter && events_[last].track == id) {
+      events_[last].value = counters_.value(id);
+      return;
+    }
+    last_sample_[id] = static_cast<std::uint32_t>(events_.size());
+    Event e;
+    e.type = Event::Type::Counter;
+    e.track = id;
+    e.t = t;
+    e.value = counters_.value(id);
+    events_.push_back(e);
+  }
 
   Counters::Id mem_counter(std::vector<Counters::Id>& ids, const char* prefix,
                            arch::CoreCoord c) {

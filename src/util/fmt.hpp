@@ -1,0 +1,35 @@
+#pragma once
+// printf-style std::string formatting.
+//
+// The repo's reports and event logs must be byte-reproducible run over run,
+// so everything user-visible goes through explicit printf conversions (fixed
+// precision, no locale, no iostream state). This is the one tiny helper that
+// turns those conversions into owned strings.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace epi::util {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+format(const char* f, ...) {
+  std::va_list ap;
+  va_start(ap, f);
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, f, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, f, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace epi::util

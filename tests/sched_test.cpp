@@ -1,0 +1,327 @@
+// epi-serve scheduler tests: mesh allocation, core reservations, admission /
+// aging / retry / timeout policy, and run-over-run determinism.
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <sstream>
+#include <vector>
+
+#include "host/system.hpp"
+#include "offload/queue.hpp"
+#include "sched/allocator.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+
+namespace {
+
+using namespace epi;
+
+// ---- MeshAllocator --------------------------------------------------------
+
+TEST(MeshAllocator, FirstFitIsDeterministic) {
+  const std::vector<std::pair<unsigned, unsigned>> requests = {
+      {2, 2}, {4, 4}, {1, 8}, {2, 4}, {3, 3}};
+  std::vector<sched::Placement> first, second;
+  for (auto* out : {&first, &second}) {
+    sched::MeshAllocator a({8, 8});
+    for (auto [r, c] : requests) {
+      auto p = a.place(r, c);
+      ASSERT_TRUE(p.has_value());
+      out->push_back(*p);
+    }
+  }
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].origin.row, second[i].origin.row);
+    EXPECT_EQ(first[i].origin.col, second[i].origin.col);
+    EXPECT_EQ(first[i].rows, second[i].rows);
+    EXPECT_EQ(first[i].cols, second[i].cols);
+  }
+}
+
+TEST(MeshAllocator, ChurnLeavesNoLeakedCores) {
+  sched::MeshAllocator a({8, 8});
+  std::vector<sched::Placement> live;
+  // Interleave placements and frees for a few hundred rounds; the shape mix
+  // fragments and re-coalesces the grid.
+  const std::pair<unsigned, unsigned> shapes[] = {{1, 1}, {2, 2}, {2, 4}, {4, 4}, {1, 8}};
+  for (unsigned round = 0; round < 300; ++round) {
+    auto [r, c] = shapes[round % std::size(shapes)];
+    if (auto p = a.place(r, c)) live.push_back(*p);
+    if (round % 3 == 2 && !live.empty()) {
+      a.free(live[live.size() / 2]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(live.size() / 2));
+    }
+  }
+  for (const auto& p : live) a.free(p);
+  EXPECT_EQ(a.free_cores(), 64u);
+  EXPECT_EQ(a.largest_free_rect(), 64u);
+  EXPECT_EQ(a.fragmentation(), 0.0);
+  // The grid is genuinely empty again: a full-mesh placement succeeds.
+  EXPECT_TRUE(a.place(8, 8).has_value());
+}
+
+TEST(MeshAllocator, RejectsUnsatisfiableShapes) {
+  sched::MeshAllocator a({8, 8});
+  EXPECT_FALSE(a.fits_ever(9, 1));
+  EXPECT_FALSE(a.fits_ever(1, 9));
+  EXPECT_FALSE(a.fits_ever(0, 4));
+  EXPECT_FALSE(a.place(9, 9).has_value());
+  EXPECT_TRUE(a.fits_ever(8, 8));
+  // Rotation admits a shape whose transpose fits.
+  EXPECT_TRUE(a.fits_ever(3, 8));
+  auto p = a.place(8, 3, /*allow_rotate=*/true);
+  ASSERT_TRUE(p.has_value());
+}
+
+TEST(MeshAllocator, RotationAndFragmentation) {
+  sched::MeshAllocator a({8, 8});
+  // Occupy rows 0-5 fully: only a 2x8 strip remains.
+  auto big = a.place(6, 8);
+  ASSERT_TRUE(big.has_value());
+  // 8x2 cannot stand upright any more; rotation lands it in the strip.
+  auto p = a.place(8, 2, /*allow_rotate=*/true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->rotated);
+  EXPECT_EQ(p->rows, 2u);
+  EXPECT_EQ(p->cols, 8u);
+  EXPECT_EQ(a.free_cores(), 0u);
+  EXPECT_EQ(a.fragmentation(), 0.0);  // full mesh: no free cores to fragment
+  a.free(*p);
+  EXPECT_EQ(a.largest_free_rect(), 16u);
+  EXPECT_THROW(a.free(*p), std::logic_error);  // double free
+}
+
+// ---- core reservations (host::System::open overlap rejection) -------------
+
+TEST(Reservations, OverlappingOpenIsRejected) {
+  host::System sys;
+  auto wg = sys.open(2, 2, 4, 4);
+  try {
+    auto overlap = sys.open(4, 4, 2, 2);
+    FAIL() << "overlapping open must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("already reserved"), std::string::npos)
+        << e.what();
+  }
+  // Disjoint rectangles coexist.
+  auto beside = sys.open(0, 0, 2, 2);
+  SUCCEED();
+}
+
+TEST(Reservations, DestructionReleasesCores) {
+  host::System sys;
+  {
+    auto wg = sys.open(0, 0, 8, 8);
+    EXPECT_EQ(sys.machine().reservations().reserved_count(), 64u);
+  }
+  EXPECT_EQ(sys.machine().reservations().reserved_count(), 0u);
+  auto again = sys.open(0, 0, 8, 8);  // fully reusable after release
+  SUCCEED();
+}
+
+TEST(Reservations, MoveTransfersOwnership) {
+  host::System sys;
+  auto wg = sys.open(1, 1, 2, 2);
+  host::Workgroup moved = std::move(wg);
+  EXPECT_EQ(sys.machine().reservations().reserved_count(), 4u);
+  EXPECT_THROW((void)sys.open(1, 1, 1, 1), std::runtime_error);
+}
+
+// ---- offload queue heap reporting -----------------------------------------
+
+TEST(OffloadHeap, ExhaustionReportsSizes) {
+  host::System sys;
+  offload::Queue q(sys, 2, 2);
+  // The per-core heap is 0x4000..0x7BFF (15360 bytes). One 3000-float stripe
+  // per core = 12000 bytes; a second such buffer exhausts it.
+  auto buf = q.alloc(4 * 3000);
+  EXPECT_EQ(buf.stripe(), 3000u);
+  try {
+    (void)q.alloc(4 * 3000);
+    FAIL() << "second 12000-byte stripe must exhaust the 15360-byte heap";
+  } catch (const offload::HeapExhausted& e) {
+    EXPECT_EQ(e.requested(), 3000u * sizeof(float));
+    EXPECT_EQ(e.available(), 15360u - 12000u);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("offload heap exhausted"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("12000"), std::string::npos) << msg;
+  }
+  // HeapExhausted still satisfies callers catching the old bare bad_alloc.
+  EXPECT_THROW((void)q.alloc(4 * 3000), std::bad_alloc);
+  // release_all() makes the heap fully reusable.
+  q.release_all();
+  EXPECT_EQ(q.heap_available(), 0x3C00u);
+  auto buf3 = q.alloc(4 * 3000);
+  EXPECT_EQ(buf3.offset(), offload::Queue::kHeapBase);
+}
+
+// ---- scheduler policy -----------------------------------------------------
+
+sched::JobSpec make_job(std::uint32_t id, unsigned rows, unsigned cols,
+                        unsigned prio, sim::Cycles arrival) {
+  sched::JobSpec s;
+  s.id = id;
+  s.kind = sched::JobKind::Offload;
+  s.rows = rows;
+  s.cols = cols;
+  s.priority = prio;
+  s.arrival = arrival;
+  s.block = 16;
+  s.iters = 1;
+  return s;
+}
+
+TEST(Scheduler, RunsConcurrentWorkgroupsAndResolvesEverything) {
+  host::System sys;
+  sched::Scheduler sc(sys);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    sc.submit(make_job(i, 2, 2, 0, i * 100));
+  }
+  sc.run();
+  EXPECT_GE(sc.peak_resident(), 3u);  // four 2x2s fit side by side
+  for (const auto& rec : sc.records()) {
+    EXPECT_EQ(rec.verdict, sched::Verdict::Completed) << "job " << rec.spec.id;
+    EXPECT_GE(rec.finished, rec.started);
+  }
+  EXPECT_DOUBLE_EQ(sc.counters().value("sched.jobs.completed"), 6.0);
+}
+
+TEST(Scheduler, UnsatisfiableShapeAndFullQueueAreRejected) {
+  host::System sys;
+  sched::SchedConfig cfg;
+  cfg.queue_capacity = 1;
+  sched::Scheduler sc(sys, cfg);
+  sc.submit(make_job(0, 9, 9, 0, 0));   // can never fit
+  sc.submit(make_job(1, 8, 8, 0, 0));   // placed immediately (queue drains)
+  sc.submit(make_job(2, 8, 8, 0, 10));  // waits behind the running 8x8
+  sc.submit(make_job(3, 8, 8, 0, 20));  // queue of 1 is full -> rejected
+  sc.run();
+  const auto& recs = sc.records();
+  EXPECT_EQ(recs[0].verdict, sched::Verdict::Rejected);
+  EXPECT_NE(recs[0].detail.find("cannot fit"), std::string::npos);
+  EXPECT_EQ(recs[1].verdict, sched::Verdict::Completed);
+  EXPECT_EQ(recs[2].verdict, sched::Verdict::Completed);
+  EXPECT_EQ(recs[3].verdict, sched::Verdict::Rejected);
+  EXPECT_NE(recs[3].detail.find("queue full"), std::string::npos);
+}
+
+TEST(Scheduler, TimeoutDropsUnstartedJobs) {
+  host::System sys;
+  sched::Scheduler sc(sys);
+  sc.submit(make_job(0, 8, 8, 0, 0));  // holds the whole mesh
+  auto starved = make_job(1, 8, 8, 0, 0);
+  starved.timeout = 2;  // cannot possibly start within 2 cycles
+  sc.submit(starved);
+  sc.run();
+  EXPECT_EQ(sc.records()[0].verdict, sched::Verdict::Completed);
+  EXPECT_EQ(sc.records()[1].verdict, sched::Verdict::TimedOut);
+  EXPECT_NE(sc.records()[1].detail.find("not started"), std::string::npos);
+}
+
+TEST(Scheduler, LaunchFailuresRetryWithBackoffThenStick) {
+  host::System sys;
+  sched::Scheduler sc(sys);
+  auto flaky = make_job(0, 2, 2, 0, 0);
+  flaky.launch_failures = 2;
+  sc.submit(flaky);
+  auto doomed = make_job(1, 2, 2, 0, 0);
+  doomed.launch_failures = 100;  // more than max_attempts
+  sc.submit(doomed);
+  sc.run();
+  EXPECT_EQ(sc.records()[0].verdict, sched::Verdict::Completed);
+  EXPECT_EQ(sc.records()[0].attempts, 3u);
+  EXPECT_EQ(sc.records()[1].verdict, sched::Verdict::Failed);
+  EXPECT_EQ(sc.records()[1].attempts, 4u);  // default max_attempts
+  EXPECT_DOUBLE_EQ(sc.counters().value("sched.launch.retries"), 2.0 + 3.0);
+}
+
+TEST(Scheduler, AgingPreventsStarvationOfTheBigJob) {
+  host::System sys;
+  sched::SchedConfig cfg;
+  cfg.aging_quantum = 20'000;
+  cfg.head_block_wait = 60'000;
+  sched::Scheduler sc(sys, cfg);
+  // One low-priority full-mesh job at t=0 against a continuous stream of
+  // small urgent jobs: without aging + head-blocking the 8x8 never finds 64
+  // free cores.
+  auto big = make_job(0, 8, 8, 0, 0);
+  sc.submit(big);
+  for (std::uint32_t i = 1; i <= 40; ++i) {
+    sc.submit(make_job(i, 2, 2, 3, i * 4'000));
+  }
+  sc.run();
+  EXPECT_EQ(sc.records()[0].verdict, sched::Verdict::Completed)
+      << sc.records()[0].detail;
+  for (const auto& rec : sc.records()) {
+    EXPECT_EQ(rec.verdict, sched::Verdict::Completed) << "job " << rec.spec.id;
+  }
+}
+
+TEST(Scheduler, MixedSeededWorkloadIsDeterministic) {
+  sched::TrafficConfig tc;
+  tc.jobs = 30;
+  tc.seed = 7;
+  tc.mean_interarrival = 20'000;
+  auto run = [&](std::vector<std::string>& log, std::string& report) {
+    host::System sys;
+    sched::Scheduler sc(sys);
+    for (auto& spec : sched::generate(tc)) sc.submit(std::move(spec));
+    sc.run();
+    log = sc.event_log();
+    report = sched::render_report(sc);
+  };
+  std::vector<std::string> log1, log2;
+  std::string rep1, rep2;
+  run(log1, rep1);
+  run(log2, rep2);
+  EXPECT_EQ(log1, log2);   // bit-identical scheduler event order
+  EXPECT_EQ(rep1, rep2);   // byte-identical report
+  EXPECT_FALSE(log1.empty());
+}
+
+// ---- workload spec round-trip ---------------------------------------------
+
+TEST(Workload, SaveLoadRoundTrips) {
+  sched::TrafficConfig tc;
+  tc.jobs = 12;
+  tc.seed = 3;
+  const auto jobs = sched::generate(tc);
+  const std::string text = sched::save(jobs);
+  std::istringstream in(text);
+  const auto loaded = sched::load(in);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, jobs[i].id);
+    EXPECT_EQ(loaded[i].tenant, jobs[i].tenant);
+    EXPECT_EQ(loaded[i].kind, jobs[i].kind);
+    EXPECT_EQ(loaded[i].rows, jobs[i].rows);
+    EXPECT_EQ(loaded[i].cols, jobs[i].cols);
+    EXPECT_EQ(loaded[i].priority, jobs[i].priority);
+    EXPECT_EQ(loaded[i].arrival, jobs[i].arrival);
+    EXPECT_EQ(loaded[i].deadline, jobs[i].deadline);
+    EXPECT_EQ(loaded[i].timeout, jobs[i].timeout);
+    EXPECT_EQ(loaded[i].iters, jobs[i].iters);
+    EXPECT_EQ(loaded[i].block, jobs[i].block);
+    EXPECT_EQ(loaded[i].launch_failures, jobs[i].launch_failures);
+  }
+  // save() of the loaded stream reproduces the exact bytes.
+  EXPECT_EQ(sched::save(loaded), text);
+}
+
+TEST(Workload, LoadRejectsMalformedLines) {
+  std::istringstream bad1("job id=0 kind=warp rows=1 cols=1\n");
+  EXPECT_THROW((void)sched::load(bad1), std::runtime_error);
+  std::istringstream bad2("task id=0\n");
+  EXPECT_THROW((void)sched::load(bad2), std::runtime_error);
+  std::istringstream bad3("job id=0 rows=banana\n");
+  EXPECT_THROW((void)sched::load(bad3), std::runtime_error);
+  std::istringstream ok("# comment\n\njob id=5 kind=stencil rows=2 cols=3\n");
+  const auto jobs = sched::load(ok);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].id, 5u);
+  EXPECT_EQ(jobs[0].kind, sched::JobKind::Stencil);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// epi-serve: replay a multi-tenant job workload against the simulated 8x8
+// mesh and report what the scheduler did with it.
+//
+// With --spec=FILE the workload is read from a workload-spec text file (see
+// src/sched/workload.hpp for the format); otherwise a seeded stream is
+// generated, and --spec-out can save it for later byte-identical replays.
+//
+// Usage:
+//   epi_serve [options]
+//     --spec=FILE        replay a workload spec instead of generating one
+//     --jobs=N           generated stream length            (default 60)
+//     --seed=S           traffic seed                       (default 1)
+//     --interarrival=C   mean cycles between arrivals       (default 30000)
+//     --queue=N          admission queue capacity           (default 64)
+//     --spec-out=FILE    write the workload spec that was run
+//     --report=FILE      write the run report to FILE as well as stdout
+//     --log              print the scheduler's decision log
+//     --trace=FILE       Perfetto trace of the whole serving run
+//     --selftest         run the workload twice on fresh machines and fail
+//                        unless reports and decision logs are byte-identical
+//                        (also asserts >=3 workgroups were resident at once)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "host/system.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace epi;
+
+struct Options {
+  std::string spec_path;
+  unsigned jobs = 60;
+  std::uint64_t seed = 1;
+  sim::Cycles interarrival = 30'000;
+  std::size_t queue = 64;
+  std::string spec_out;
+  std::string report_path;
+  std::string trace_path;
+  bool print_log = false;
+  bool selftest = false;
+};
+
+bool value_flag(std::string_view arg, std::string_view flag, std::string& out) {
+  if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    out = std::string(arg.substr(flag.size() + 1));
+    return true;
+  }
+  return false;
+}
+
+struct RunOutput {
+  std::string report;
+  std::vector<std::string> log;
+  unsigned peak_resident = 0;
+  unsigned unresolved = 0;
+};
+
+RunOutput run_once(const std::vector<sched::JobSpec>& jobs, const Options& opt,
+                   bool trace) {
+  host::System sys;
+  if (trace) sys.machine().enable_tracing();
+  sched::SchedConfig cfg;
+  cfg.queue_capacity = opt.queue;
+  sched::Scheduler sc(sys, cfg);
+  for (const auto& spec : jobs) sc.submit(spec);
+  sc.run();
+
+  RunOutput out;
+  out.report = sched::render_report(sc);
+  out.log = sc.event_log();
+  out.peak_resident = sc.peak_resident();
+  for (const auto& rec : sc.records()) {
+    if (rec.verdict == sched::Verdict::Pending) ++out.unresolved;
+  }
+  if (trace && !opt.trace_path.empty()) {
+    std::ofstream os(opt.trace_path, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot write trace file: " + opt.trace_path);
+    trace::write_chrome_trace(os, *sys.machine().tracer());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string val;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (value_flag(arg, "--spec", opt.spec_path) ||
+        value_flag(arg, "--spec-out", opt.spec_out) ||
+        value_flag(arg, "--report", opt.report_path) ||
+        value_flag(arg, "--trace", opt.trace_path)) {
+      continue;
+    }
+    if (value_flag(arg, "--jobs", val)) { opt.jobs = static_cast<unsigned>(std::stoul(val)); continue; }
+    if (value_flag(arg, "--seed", val)) { opt.seed = std::stoull(val); continue; }
+    if (value_flag(arg, "--interarrival", val)) { opt.interarrival = std::stoull(val); continue; }
+    if (value_flag(arg, "--queue", val)) { opt.queue = std::stoul(val); continue; }
+    if (arg == "--log") { opt.print_log = true; continue; }
+    if (arg == "--selftest") { opt.selftest = true; continue; }
+    std::fprintf(stderr, "epi_serve: unknown argument '%s' (see the header of tools/epi_serve.cpp)\n",
+                 std::string(arg).c_str());
+    return 2;
+  }
+
+  try {
+    std::vector<sched::JobSpec> jobs;
+    if (!opt.spec_path.empty()) {
+      jobs = sched::load_file(opt.spec_path);
+      std::cout << "replaying " << jobs.size() << " jobs from " << opt.spec_path
+                << "\n\n";
+    } else {
+      sched::TrafficConfig tc;
+      tc.jobs = opt.jobs;
+      tc.seed = opt.seed;
+      tc.mean_interarrival = opt.interarrival;
+      jobs = sched::generate(tc);
+      std::cout << "generated " << jobs.size() << " jobs (seed " << opt.seed
+                << ", mean interarrival " << opt.interarrival << " cycles)\n\n";
+    }
+    if (!opt.spec_out.empty()) {
+      std::ofstream os(opt.spec_out, std::ios::binary | std::ios::trunc);
+      if (!os) throw std::runtime_error("cannot write spec: " + opt.spec_out);
+      os << sched::save(jobs);
+    }
+
+    const RunOutput first = run_once(jobs, opt, !opt.trace_path.empty());
+    std::cout << first.report;
+    if (opt.print_log) {
+      std::cout << "\n-- decision log --\n";
+      for (const auto& line : first.log) std::cout << line << "\n";
+    }
+    if (!opt.report_path.empty()) {
+      std::ofstream os(opt.report_path, std::ios::binary | std::ios::trunc);
+      if (!os) throw std::runtime_error("cannot write report: " + opt.report_path);
+      os << first.report;
+    }
+    if (!opt.trace_path.empty()) {
+      std::cout << "\nWrote Perfetto trace to " << opt.trace_path
+                << " (open at ui.perfetto.dev; ts is in cycles)\n";
+    }
+
+    if (first.unresolved != 0) {
+      std::fprintf(stderr, "epi_serve: FAIL: %u jobs left without a verdict\n",
+                   first.unresolved);
+      return 1;
+    }
+
+    if (opt.selftest) {
+      const RunOutput second = run_once(jobs, opt, false);
+      bool ok = true;
+      if (second.report != first.report) {
+        std::fprintf(stderr, "epi_serve: FAIL: reports differ between two "
+                             "identical runs\n");
+        ok = false;
+      }
+      if (second.log != first.log) {
+        std::fprintf(stderr, "epi_serve: FAIL: decision logs differ between "
+                             "two identical runs\n");
+        ok = false;
+      }
+      if (first.peak_resident < 3) {
+        std::fprintf(stderr,
+                     "epi_serve: FAIL: expected >=3 concurrently resident "
+                     "workgroups, saw %u\n",
+                     first.peak_resident);
+        ok = false;
+      }
+      std::cout << (ok ? "\nselftest: PASS (byte-identical reports and logs; "
+                       : "\nselftest: FAIL (")
+                << "peak resident groups " << first.peak_resident << ")\n";
+      return ok ? 0 : 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "epi_serve: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
