@@ -2,7 +2,8 @@
 # Simulator performance benchmarks: Release build, then
 #   * abl_simperf  -> BENCH_simperf.json (wall-clock engine throughput)
 #   * abl_sched    -> BENCH_sched.json   (serving throughput/latency sweep)
-# both written at the repository root. Run from anywhere:
+#   * abl_faults   -> BENCH_faults.json  (goodput/detection under injected faults)
+# all written at the repository root. Run from anywhere:
 #
 #     scripts/bench.sh [extra google-benchmark args...]
 #
@@ -17,7 +18,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== Release build =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j "${JOBS}" --target abl_simperf abl_sched
+cmake --build build-release -j "${JOBS}" --target abl_simperf abl_sched abl_faults
 
 echo "== abl_simperf (results -> BENCH_simperf.json) =="
 # Debian's libbenchmark is packaged with an unset build type, so the library
@@ -35,3 +36,8 @@ echo "== abl_sched (results -> BENCH_sched.json) =="
 ./build-release/bench/abl_sched --metrics=BENCH_sched.json
 
 echo "Wrote $(pwd)/BENCH_sched.json"
+
+echo "== abl_faults (results -> BENCH_faults.json) =="
+./build-release/bench/abl_faults --metrics=BENCH_faults.json
+
+echo "Wrote $(pwd)/BENCH_faults.json"

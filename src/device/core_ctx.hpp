@@ -28,6 +28,7 @@
 #include "arch/address_map.hpp"
 #include "dma/descriptor.hpp"
 #include "arch/coords.hpp"
+#include "fault/crc.hpp"
 #include "machine/machine.hpp"
 #include "sim/task.hpp"
 #include "sim/wait.hpp"
@@ -173,8 +174,10 @@ public:
   }
 
   // ---- timed operations --------------------------------------------------
-  /// Pure computation lasting `c` cycles.
-  [[nodiscard]] sim::Delay compute(sim::Cycles c) {
+  /// Pure computation lasting `c` cycles. The awaitable is fault-aware: a
+  /// killed core's op parks forever, a stalled core's defers to the window
+  /// end (identical to sim::Delay when no faults target this core).
+  [[nodiscard]] fault::TimedOp compute(sim::Cycles c) {
     return timed(trace::Phase::Compute, "compute", c);
   }
 
@@ -211,6 +214,24 @@ public:
     auto ph = phase(trace::Phase::Comm, "elink-write");
     co_await m_->elink_write().txn(coord_, bytes);
     m_->mem().copy(dst, src, bytes, coord_);
+    // With corruption faults armed, the block is CRC-checked end to end and
+    // resent with exponential backoff on mismatch (bounded, like the
+    // scheduler's launch retry policy).
+    if (auto* inj = m_->faults(); inj != nullptr && inj->any_corruption()) {
+      inj->corrupt_elink(0, dst, bytes, coord_);
+      for (unsigned attempt = 1; !crc_matches(dst, src, bytes); ++attempt) {
+        if (attempt > kTransferRetries) {
+          throw fault::TransferError("eLink write from core " + arch::to_string(coord_) +
+                                     " failed CRC after " +
+                                     std::to_string(kTransferRetries) + " retries");
+        }
+        inj->note_transfer_retry(coord_);
+        co_await sim::delay(m_->engine(), kRetryBackoff << (attempt - 1));
+        co_await m_->elink_write().txn(coord_, bytes);
+        m_->mem().copy(dst, src, bytes, coord_);
+        inj->corrupt_elink(0, dst, bytes, coord_);
+      }
+    }
   }
 
   /// Word load; remote loads pay the read-network round trip.
@@ -249,7 +270,7 @@ public:
   // ---- DMA ----------------------------------------------------------------
   /// e_dma_set_desc: charge the descriptor-construction cost. The C++
   /// descriptor object is built by the caller (dma::DmaDescriptor helpers).
-  [[nodiscard]] sim::Delay dma_set_desc() {
+  [[nodiscard]] fault::TimedOp dma_set_desc() {
     return timed(trace::Phase::Comm, "dma-setup", timing().dma_set_desc_cycles);
   }
   /// e_dma_start: charge the start cost, then kick the channel.
@@ -330,13 +351,22 @@ public:
   }
 
 private:
+  /// Bounded retry for CRC-failed eLink block writes.
+  static constexpr unsigned kTransferRetries = 4;
+  static constexpr sim::Cycles kRetryBackoff = 64;
+
   /// A fixed-span delay, recorded as a phase span at issue time (safe: the
   /// issuing core resumes exactly at the span's end).
-  [[nodiscard]] sim::Delay timed(trace::Phase p, std::string_view name, sim::Cycles c) {
+  [[nodiscard]] fault::TimedOp timed(trace::Phase p, std::string_view name, sim::Cycles c) {
     if (trace_depth_ == 0 && c > 0) {
       if (auto* t = m_->tracer()) t->core_span(coord_, p, name, now(), now() + c);
     }
-    return sim::delay(m_->engine(), c);
+    return fault::TimedOp{m_->engine(), c, m_->faults(), coord_};
+  }
+
+  [[nodiscard]] bool crc_matches(arch::Addr dst, arch::Addr src, std::uint32_t bytes) {
+    return fault::crc32(m_->mem().resolve(src, bytes, coord_)) ==
+           fault::crc32(m_->mem().resolve(dst, bytes, coord_));
   }
 
   sim::Op<void> dma_wait_impl(unsigned chan) {

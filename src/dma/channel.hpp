@@ -18,6 +18,8 @@
 #include "arch/coords.hpp"
 #include "arch/timing.hpp"
 #include "dma/descriptor.hpp"
+#include "fault/crc.hpp"
+#include "fault/injector.hpp"
 #include "mem/memory_system.hpp"
 #include "noc/elink.hpp"
 #include "noc/mesh.hpp"
@@ -81,21 +83,38 @@ public:
     trace_track_ = t != nullptr ? t->dma_track(owner_, index_) : 0;
   }
 
+  /// Attach a fault injector: external-route chunks become CRC-checked with
+  /// bounded retry, and a dead owner core's descriptor setup parks.
+  void set_faults(fault::FaultInjector* f) noexcept { faults_ = f; }
+
 private:
+  /// Bounded retry for CRC-failed external transfers: kRetryBackoff << n
+  /// cycles before attempt n+1, up to kTransferRetries recommits.
+  static constexpr unsigned kTransferRetries = 4;
+  static constexpr sim::Cycles kRetryBackoff = 64;
+
   sim::Op<void> run_chain() {
-    if (trace_ != nullptr) {
-      trace_->begin(trace_track_, trace::Phase::Comm, "chain", engine_->now());
-    }
-    co_await sim::delay(*engine_, timing_->dma_channel_latency_cycles);
-    for (std::size_t i = 0; i < chain_.size(); ++i) {
-      if (i > 0) co_await sim::delay(*engine_, timing_->dma_chain_latency_cycles);
+    try {
       if (trace_ != nullptr) {
-        trace_->begin(trace_track_, trace::Phase::Comm, "descriptor", engine_->now());
+        trace_->begin(trace_track_, trace::Phase::Comm, "chain", engine_->now());
       }
-      co_await run_descriptor(chain_[i]);
+      co_await sim::delay(*engine_, timing_->dma_channel_latency_cycles);
+      for (std::size_t i = 0; i < chain_.size(); ++i) {
+        if (i > 0) co_await sim::delay(*engine_, timing_->dma_chain_latency_cycles);
+        if (trace_ != nullptr) {
+          trace_->begin(trace_track_, trace::Phase::Comm, "descriptor", engine_->now());
+        }
+        co_await run_descriptor(chain_[i]);
+        if (trace_ != nullptr) trace_->end(trace_track_, engine_->now());
+      }
       if (trace_ != nullptr) trace_->end(trace_track_, engine_->now());
+    } catch (...) {
+      // Release waiters before propagating, so e_dma_wait() observes the
+      // error through the process record instead of hanging forever.
+      busy_ = false;
+      done_.notify_all();
+      throw;
     }
-    if (trace_ != nullptr) trace_->end(trace_track_, engine_->now());
     busy_ = false;
     done_.notify_all();
   }
@@ -243,7 +262,46 @@ private:
     if (trace_ != nullptr) {
       trace_->dma_chunk(trace_track_, owner_, bytes, engine_->now());
     }
+
+    // With corruption faults armed, external transfers are CRC-checked end
+    // to end and recommitted with exponential backoff on mismatch (the
+    // off-chip path is the one with a wire to flip bits on; on-chip runs
+    // stay unchecked, as on the real part).
+    if (faults_ != nullptr && faults_->any_corruption() &&
+        (route.kind == Route::ToExternal || route.kind == Route::FromExternal)) {
+      const unsigned ekind = route.kind == Route::ToExternal ? 0u : 1u;
+      noc::ELink* link = route.kind == Route::ToExternal ? elink_write_ : elink_read_;
+      faults_->corrupt_elink(ekind, chunk.front().dst,
+                             chunk.front().elems * esz, owner_);
+      for (unsigned attempt = 1; !chunk_crc_ok(chunk, esz); ++attempt) {
+        if (attempt > kTransferRetries) {
+          throw fault::TransferError(
+              name_ + ": external DMA chunk failed CRC after " +
+              std::to_string(kTransferRetries) + " retries");
+        }
+        faults_->note_transfer_retry(owner_);
+        co_await sim::delay(*engine_, kRetryBackoff << (attempt - 1));
+        co_await link->txn(owner_, bytes);
+        for (const Run& r : chunk) {
+          mem_->copy(r.dst, r.src, static_cast<arch::Addr>(r.elems) * esz, owner_);
+        }
+        faults_->corrupt_elink(ekind, chunk.front().dst,
+                               chunk.front().elems * esz, owner_);
+      }
+    }
     chunk.clear();
+  }
+
+  /// Chained CRC over the chunk's source runs vs. its committed destination
+  /// runs (external routes never overlap, so the recommit is a plain copy).
+  [[nodiscard]] bool chunk_crc_ok(const std::vector<Run>& chunk, std::uint32_t esz) {
+    std::uint32_t src_crc = 0, dst_crc = 0;
+    for (const Run& r : chunk) {
+      const auto n = static_cast<std::size_t>(r.elems) * esz;
+      src_crc = fault::crc32(mem_->resolve(r.src, n, owner_), src_crc);
+      dst_crc = fault::crc32(mem_->resolve(r.dst, n, owner_), dst_crc);
+    }
+    return src_crc == dst_crc;
   }
 
   arch::CoreCoord owner_;
@@ -263,6 +321,7 @@ private:
   std::uint64_t bytes_moved_ = 0;
   trace::Tracer* trace_ = nullptr;
   std::uint32_t trace_track_ = 0;
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace epi::dma

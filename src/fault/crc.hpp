@@ -1,0 +1,44 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// Used by the fault-tolerant transfer paths: eLink and DMA external
+// transfers checksum the source range before the move and the committed
+// destination after it, so a bit flipped in flight (see fault::FaultPlan)
+// is detected and the transfer retried instead of silently corrupting a
+// job's result. A nibble-indexed table keeps the hot loop small without a
+// 1 KB table per translation unit.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace epi::fault {
+
+namespace detail {
+inline constexpr std::array<std::uint32_t, 16> kCrcNibble = [] {
+  std::array<std::uint32_t, 16> t{};
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 4; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}();
+}  // namespace detail
+
+/// CRC-32 of `data`, optionally chaining from a previous span's result.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> data,
+                                         std::uint32_t seed = 0) {
+  std::uint32_t c = ~seed;
+  for (const std::byte b : data) {
+    c ^= static_cast<std::uint32_t>(b);
+    c = detail::kCrcNibble[c & 0xFu] ^ (c >> 4);
+    c = detail::kCrcNibble[c & 0xFu] ^ (c >> 4);
+  }
+  return ~c;
+}
+
+}  // namespace epi::fault

@@ -1,0 +1,272 @@
+#include "fault/plan.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "sim/random.hpp"
+#include "util/fmt.hpp"
+
+namespace epi::fault {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::KillCore: return "kill";
+    case FaultKind::StallCore: return "stall";
+    case FaultKind::LinkFail: return "link";
+    case FaultKind::ElinkFail: return "elink";
+    case FaultKind::ElinkFlip: return "elink-flip";
+    case FaultKind::MemFlip: return "mem-flip";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parse_dir(const std::string& s, arch::Dir& out) {
+  if (s == "north") out = arch::Dir::North;
+  else if (s == "south") out = arch::Dir::South;
+  else if (s == "west") out = arch::Dir::West;
+  else if (s == "east") out = arch::Dir::East;
+  else return false;
+  return true;
+}
+
+/// Spread `n` event times over [0, horizon) with a uniform draw each.
+sim::Cycles draw_time(sim::Rng& rng, sim::Cycles horizon) {
+  return horizon == 0 ? 0 : rng.next_below(horizon);
+}
+
+/// Mean-centred duration: uniform in [mean/2, 3*mean/2), never zero (zero
+/// means permanent in the plan format).
+sim::Cycles draw_duration(sim::Rng& rng, sim::Cycles mean) {
+  if (mean == 0) return 1;
+  return mean / 2 + rng.next_below(mean) + 1;
+}
+
+arch::CoreCoord draw_core(sim::Rng& rng, arch::MeshDims dims) {
+  return dims.coord_of(static_cast<unsigned>(rng.next_below(dims.core_count())));
+}
+
+}  // namespace
+
+FaultPlan generate(const ChaosConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  FaultPlan plan;
+  plan.seed = cfg.seed;
+  auto add = [&](FaultEvent e) { plan.events.push_back(e); };
+
+  for (unsigned i = 0; i < cfg.core_kills; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::KillCore;
+    e.core = draw_core(rng, cfg.dims);
+    e.at = draw_time(rng, cfg.horizon);
+    add(e);
+  }
+  for (unsigned i = 0; i < cfg.core_stalls; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::StallCore;
+    e.core = draw_core(rng, cfg.dims);
+    e.at = draw_time(rng, cfg.horizon);
+    e.duration = draw_duration(rng, cfg.stall_cycles);
+    add(e);
+  }
+  for (unsigned i = 0; i < cfg.link_faults; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::LinkFail;
+    // Redraw until the direction points at a real neighbour: a boundary
+    // link that nothing can ever route over would waste a fault.
+    arch::CoreCoord nb;
+    do {
+      e.core = draw_core(rng, cfg.dims);
+      e.dir = static_cast<arch::Dir>(rng.next_below(4));
+    } while (!cfg.dims.neighbour(e.core, e.dir, nb));
+    e.at = draw_time(rng, cfg.horizon);
+    e.duration = rng.next_float() < cfg.transient_link_prob
+                     ? draw_duration(rng, cfg.link_outage_cycles)
+                     : 0;
+    add(e);
+  }
+  for (unsigned i = 0; i < cfg.elink_outages; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::ElinkFail;
+    e.elink = static_cast<std::uint8_t>(rng.next_below(2));
+    e.at = draw_time(rng, cfg.horizon);
+    e.duration = draw_duration(rng, cfg.elink_outage_cycles);
+    add(e);
+  }
+  for (unsigned i = 0; i < cfg.elink_flips; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::ElinkFlip;
+    e.elink = static_cast<std::uint8_t>(rng.next_below(2));
+    e.at = draw_time(rng, cfg.horizon);
+    e.duration = 0;  // armed from `at` onward until the budget is spent
+    e.count = 1;
+    add(e);
+  }
+  for (unsigned i = 0; i < cfg.mem_flips; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::MemFlip;
+    e.scratch = false;  // chaos plans corrupt DRAM, where validation can see it
+    e.at = draw_time(rng, cfg.horizon);
+    e.duration = 0;
+    e.count = 1;
+    add(e);
+  }
+  return plan;
+}
+
+std::string save(const FaultPlan& plan) {
+  std::string out = "# epi-fault plan (one fault per line)\n";
+  out += util::format("seed %llu\n", static_cast<unsigned long long>(plan.seed));
+  for (const FaultEvent& e : plan.events) {
+    const auto at = static_cast<unsigned long long>(e.at);
+    const auto dur = static_cast<unsigned long long>(e.duration);
+    switch (e.kind) {
+      case FaultKind::KillCore:
+        out += util::format("kill core=%u,%u at=%llu\n", e.core.row, e.core.col, at);
+        break;
+      case FaultKind::StallCore:
+        out += util::format("stall core=%u,%u at=%llu for=%llu\n", e.core.row,
+                            e.core.col, at, dur);
+        break;
+      case FaultKind::LinkFail:
+        out += util::format("link router=%u,%u dir=%s at=%llu for=%llu\n",
+                            e.core.row, e.core.col, arch::to_string(e.dir), at, dur);
+        break;
+      case FaultKind::ElinkFail:
+        out += util::format("elink kind=%s at=%llu for=%llu\n",
+                            e.elink == 0 ? "write" : "read", at, dur);
+        break;
+      case FaultKind::ElinkFlip:
+        out += util::format("elink-flip kind=%s at=%llu for=%llu count=%u\n",
+                            e.elink == 0 ? "write" : "read", at, dur, e.count);
+        break;
+      case FaultKind::MemFlip:
+        if (e.scratch && !e.core_any) {
+          out += util::format("mem-flip region=scratch core=%u,%u at=%llu for=%llu count=%u\n",
+                              e.core.row, e.core.col, at, dur, e.count);
+        } else {
+          out += util::format("mem-flip region=%s at=%llu for=%llu count=%u\n",
+                              e.scratch ? "scratch" : "dram", at, dur, e.count);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+FaultPlan parse(std::istream& in, const std::string& source) {
+  FaultPlan plan;
+  std::string line;
+  unsigned lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto fail = [&](const std::string& why) -> FaultError {
+      return FaultError(util::format("%s:%u: %s", source.c_str(), lineno, why.c_str()));
+    };
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;  // blank or comment
+
+    if (word == "seed") {
+      std::string val;
+      if (!(ls >> val)) throw fail("seed directive needs a value");
+      try {
+        plan.seed = std::stoull(val);
+      } catch (const std::exception&) {
+        throw fail("seed value '" + val + "' is not an integer");
+      }
+      continue;
+    }
+
+    FaultEvent e;
+    if (word == "kill") e.kind = FaultKind::KillCore;
+    else if (word == "stall") e.kind = FaultKind::StallCore;
+    else if (word == "link") e.kind = FaultKind::LinkFail;
+    else if (word == "elink") e.kind = FaultKind::ElinkFail;
+    else if (word == "elink-flip") e.kind = FaultKind::ElinkFlip;
+    else if (word == "mem-flip") e.kind = FaultKind::MemFlip;
+    else throw fail("unknown directive '" + word + "'");
+
+    bool have_core = false, have_at = false, have_for = false;
+    bool have_region = false, have_kind = false;
+    while (ls >> word) {
+      const auto eq = word.find('=');
+      if (eq == std::string::npos) throw fail("field '" + word + "' is not key=value");
+      const std::string key = word.substr(0, eq);
+      const std::string val = word.substr(eq + 1);
+      try {
+        if (key == "core" || key == "router") {
+          const auto comma = val.find(',');
+          if (comma == std::string::npos) throw fail("'" + key + "' needs row,col");
+          e.core.row = static_cast<unsigned>(std::stoul(val.substr(0, comma)));
+          e.core.col = static_cast<unsigned>(std::stoul(val.substr(comma + 1)));
+          have_core = true;
+        } else if (key == "dir") {
+          if (!parse_dir(val, e.dir)) throw fail("unknown direction '" + val + "'");
+        } else if (key == "at") {
+          e.at = std::stoull(val);
+          have_at = true;
+        } else if (key == "for") {
+          e.duration = std::stoull(val);
+          have_for = true;
+        } else if (key == "count") {
+          e.count = static_cast<std::uint32_t>(std::stoul(val));
+        } else if (key == "kind") {
+          if (val == "write") e.elink = 0;
+          else if (val == "read") e.elink = 1;
+          else throw fail("eLink kind must be 'write' or 'read', got '" + val + "'");
+          have_kind = true;
+        } else if (key == "region") {
+          if (val == "dram") e.scratch = false;
+          else if (val == "scratch") e.scratch = true;
+          else throw fail("region must be 'dram' or 'scratch', got '" + val + "'");
+          have_region = true;
+        } else {
+          throw fail("unknown field '" + key + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        throw fail("field '" + key + "' has non-numeric value '" + val + "'");
+      } catch (const std::out_of_range&) {
+        throw fail("field '" + key + "' value out of range: '" + val + "'");
+      }
+    }
+
+    if (!have_at) throw fail("fault needs an at=CYCLE field");
+    switch (e.kind) {
+      case FaultKind::KillCore:
+        if (!have_core) throw fail("kill needs core=row,col");
+        e.duration = 0;
+        break;
+      case FaultKind::StallCore:
+        if (!have_core) throw fail("stall needs core=row,col");
+        if (!have_for || e.duration == 0) throw fail("stall needs for=CYCLES > 0");
+        break;
+      case FaultKind::LinkFail: {
+        if (!have_core) throw fail("link needs router=row,col");
+        break;
+      }
+      case FaultKind::ElinkFail:
+      case FaultKind::ElinkFlip:
+        if (!have_kind) throw fail("eLink fault needs kind=write|read");
+        break;
+      case FaultKind::MemFlip:
+        if (!have_region) throw fail("mem-flip needs region=dram|scratch");
+        if (!e.scratch && have_core) throw fail("mem-flip region=dram takes no core");
+        break;
+    }
+    if (e.count == 0) throw fail("count must be at least 1");
+    e.core_any = !(e.kind == FaultKind::MemFlip && e.scratch && have_core);
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+FaultPlan load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw FaultError("cannot open fault plan: " + path);
+  return parse(in, path);
+}
+
+}  // namespace epi::fault

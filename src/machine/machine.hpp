@@ -12,6 +12,8 @@
 #include "arch/coords.hpp"
 #include "arch/timing.hpp"
 #include "dma/channel.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "lint/sanitizer.hpp"
 #include "machine/reservation.hpp"
 #include "mem/memory_system.hpp"
@@ -133,6 +135,7 @@ public:
         core.dma[0].set_trace(tracer_.get());
         core.dma[1].set_trace(tracer_.get());
       }
+      if (faults_) faults_->set_trace(tracer_.get());
     }
     return *tracer_;
   }
@@ -150,6 +153,41 @@ public:
   }
   [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
 
+  // ---- fault injection ------------------------------------------------------
+  /// Arm a fault plan across every layer (core timed ops, mesh routing, both
+  /// eLinks, DMA transfer checking, memory-write corruption). Idempotent per
+  /// machine: the first call wins. An *empty* plan is valid and guaranteed
+  /// side-effect-free -- every event ordering stays bit-identical to an
+  /// uninstrumented run (determinism tests pin this).
+  fault::FaultInjector& enable_faults(fault::FaultPlan plan) {
+    if (!faults_) {
+      faults_ = std::make_unique<fault::FaultInjector>(std::move(plan), engine_, mem_,
+                                                       cfg_.dims, tracer_.get());
+      mem_.add_hook(faults_.get());
+      mesh_.set_faults(faults_.get());
+      elink_write_.set_faults(faults_.get(), 0);
+      elink_read_.set_faults(faults_.get(), 1);
+      for (auto& core : cores_) {
+        core.dma[0].set_faults(faults_.get());
+        core.dma[1].set_faults(faults_.get());
+      }
+    }
+    return *faults_;
+  }
+  void disable_faults() noexcept {
+    if (!faults_) return;
+    mem_.remove_hook(faults_.get());
+    mesh_.set_faults(nullptr);
+    elink_write_.set_faults(nullptr, 0);
+    elink_read_.set_faults(nullptr, 1);
+    for (auto& core : cores_) {
+      core.dma[0].set_faults(nullptr);
+      core.dma[1].set_faults(nullptr);
+    }
+    faults_.reset();
+  }
+  [[nodiscard]] fault::FaultInjector* faults() noexcept { return faults_.get(); }
+
 private:
   arch::MachineConfig cfg_;
   sim::Engine engine_;
@@ -161,6 +199,7 @@ private:
   std::deque<Core> cores_;  // deque: Core is immovable (owns DmaChannels)
   std::unique_ptr<lint::MemSanitizer> sanitizer_;
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<fault::FaultInjector> faults_;
 };
 
 }  // namespace epi::machine

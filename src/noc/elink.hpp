@@ -33,6 +33,7 @@
 
 #include "arch/coords.hpp"
 #include "arch/timing.hpp"
+#include "fault/injector.hpp"
 #include "sim/engine.hpp"
 #include "trace/tracer.hpp"
 
@@ -64,6 +65,9 @@ public:
       std::uint32_t bytes;
       [[nodiscard]] bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
+        // A dead core cannot issue off-chip requests: park the resumption
+        // before it reaches the FIFOs so arbitration never sees it.
+        if (link.faults_ != nullptr && link.faults_->park_if_dead(c, h)) return;
         link.fifos_[link.dims_.index_of(c)].push_back(
             Request{bytes, link.engine_->now(), h});
         ++link.pending_;
@@ -91,6 +95,13 @@ public:
     trace_kind_ = kind;
   }
 
+  /// Attach a fault injector. `kind` selects which outage/corruption windows
+  /// apply (0 = write network, 1 = read network).
+  void set_faults(fault::FaultInjector* f, unsigned kind) noexcept {
+    faults_ = f;
+    fault_kind_ = kind;
+  }
+
 private:
   struct Request {
     std::uint32_t bytes;
@@ -102,6 +113,18 @@ private:
     if (pending_ == 0) {
       pumping_ = false;
       return;
+    }
+    if (faults_ != nullptr) {
+      const sim::Cycles avail = faults_->elink_available(fault_kind_, engine_->now());
+      if (avail == fault::kNever) {
+        // Permanent outage: the pump falls silent with pumping_ held, so
+        // queued requesters hang -- the watchdog layer reports them.
+        return;
+      }
+      if (avail > engine_->now()) {
+        engine_->call_at(avail, [this] { pump(); });
+        return;
+      }
     }
     const unsigned winner = select_root();
     Request r = fifos_[winner].front();
@@ -230,6 +253,8 @@ private:
   bool pumping_ = false;
   trace::Tracer* trace_ = nullptr;
   trace::ElinkKind trace_kind_ = trace::ElinkKind::Write;
+  fault::FaultInjector* faults_ = nullptr;
+  unsigned fault_kind_ = 0;
 };
 
 }  // namespace epi::noc

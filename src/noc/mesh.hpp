@@ -17,6 +17,7 @@
 
 #include "arch/coords.hpp"
 #include "arch/timing.hpp"
+#include "fault/injector.hpp"
 #include "sim/engine.hpp"
 #include "trace/tracer.hpp"
 
@@ -36,6 +37,11 @@ public:
   /// Attach (or detach, with nullptr) a tracer; each reserved burst emits a
   /// per-directed-link occupancy span plus per-link byte counters.
   void set_trace(trace::Tracer* t) noexcept { trace_ = t; }
+
+  /// Attach a fault injector. Routing only changes when the plan actually
+  /// fails a mesh link (any_link_faults()); otherwise every burst takes the
+  /// byte-identical original path, fast paths included.
+  void set_faults(fault::FaultInjector* f) noexcept { faults_ = f; }
 
   /// Cycles charged to a core that copies `words` 32-bit values into a
   /// remote core's memory with CPU load/store pairs (Listing 1 style).
@@ -65,6 +71,10 @@ public:
     if (src == dst) return earliest;  // local copy: no mesh traversal
     const sim::Cycles occupancy = std::max<sim::Cycles>(
         1, static_cast<sim::Cycles>(static_cast<double>(bytes) / timing_->link_bytes_per_cycle + 0.5));
+
+    if (faults_ != nullptr && faults_->any_link_faults()) {
+      return reserve_path_degraded(src, dst, bytes, earliest, occupancy);
+    }
 
     // Single-hop fast path: neighbouring cores (the dominant stencil-halo
     // case) reserve exactly one directed link, so the path vectors are
@@ -122,13 +132,110 @@ private:
     return static_cast<std::size_t>(dims_.index_of(c)) * 4 + static_cast<unsigned>(d);
   }
 
+  /// Collect the directed links of a dimension-ordered route into the
+  /// scratch vectors: XY (columns first, the hardware order) or the YX
+  /// fallback used to steer around a failed link.
+  void build_path(arch::CoreCoord src, arch::CoreCoord dst, bool rows_first) {
+    path_scratch_.clear();
+    hop_scratch_.clear();
+    arch::CoreCoord cur = src;
+    const auto walk_cols = [&] {
+      while (cur.col != dst.col) {
+        const arch::Dir d = cur.col < dst.col ? arch::Dir::East : arch::Dir::West;
+        path_scratch_.push_back(link_index(cur, d));
+        hop_scratch_.push_back({cur, d});
+        cur.col += cur.col < dst.col ? 1 : -1u;
+      }
+    };
+    const auto walk_rows = [&] {
+      while (cur.row != dst.row) {
+        const arch::Dir d = cur.row < dst.row ? arch::Dir::South : arch::Dir::North;
+        path_scratch_.push_back(link_index(cur, d));
+        hop_scratch_.push_back({cur, d});
+        cur.row += cur.row < dst.row ? 1 : -1u;
+      }
+    };
+    if (rows_first) {
+      walk_rows();
+      walk_cols();
+    } else {
+      walk_cols();
+      walk_rows();
+    }
+  }
+
+  /// Earliest start >= `earliest` at which every link of the scratch path is
+  /// both unoccupied and outside its fault windows; fault::kNever when a
+  /// permanent outage blocks the path.
+  [[nodiscard]] sim::Cycles path_start(sim::Cycles earliest, sim::Cycles occupancy) const {
+    sim::Cycles start = earliest;
+    for (auto li : path_scratch_) start = std::max(start, link_free_[li]);
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (auto li : path_scratch_) {
+        const sim::Cycles clear = faults_->link_clear_from(li, start, occupancy);
+        if (clear == fault::kNever) return fault::kNever;
+        if (clear > start) {
+          start = clear;
+          moved = true;
+        }
+      }
+    }
+    return start;
+  }
+
+  /// Routing with mesh-link faults armed: try the XY route, waiting out
+  /// transient outages; if a permanent outage blocks it, fall back to the YX
+  /// route (rows first). Because two routes now exist per (src, dst) pair,
+  /// a completion-time clamp preserves per-pair delivery order -- a later
+  /// burst can never appear to land before an earlier one.
+  sim::Cycles reserve_path_degraded(arch::CoreCoord src, arch::CoreCoord dst,
+                                    std::size_t bytes, sim::Cycles earliest,
+                                    sim::Cycles occupancy) {
+    build_path(src, dst, /*rows_first=*/false);
+    sim::Cycles start = path_start(earliest, occupancy);
+    if (start == fault::kNever) {
+      build_path(src, dst, /*rows_first=*/true);
+      start = path_start(earliest, occupancy);
+      if (start == fault::kNever) {
+        throw fault::UnroutableError("no mesh route " + arch::to_string(src) + " -> " +
+                                     arch::to_string(dst) +
+                                     ": XY and YX both cross a failed link");
+      }
+      faults_->note_reroute(src, dst);
+    }
+    for (auto li : path_scratch_) link_free_[li] = start + occupancy;
+    if (trace_ != nullptr) {
+      for (const auto& [router, dir] : hop_scratch_) {
+        trace_->mesh_link(router, dir, static_cast<std::uint32_t>(bytes), start,
+                          start + occupancy);
+      }
+    }
+    sim::Cycles done =
+        start + occupancy +
+        static_cast<sim::Cycles>(
+            timing_->mesh_hop_cycles * static_cast<double>(path_scratch_.size()) + 0.5);
+    if (pair_done_.empty()) {
+      pair_done_.resize(static_cast<std::size_t>(dims_.core_count()) * dims_.core_count(), 0);
+    }
+    sim::Cycles& last =
+        pair_done_[static_cast<std::size_t>(dims_.index_of(src)) * dims_.core_count() +
+                   dims_.index_of(dst)];
+    done = std::max(done, last);
+    last = done;
+    return done;
+  }
+
   arch::MeshDims dims_;
   const arch::TimingParams* timing_;
   sim::Engine* engine_;
   std::vector<sim::Cycles> link_free_;
   std::vector<std::size_t> path_scratch_;
   std::vector<std::pair<arch::CoreCoord, arch::Dir>> hop_scratch_;
+  std::vector<sim::Cycles> pair_done_;  // per (src,dst): last delivery, for ordering
   trace::Tracer* trace_ = nullptr;
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace epi::noc

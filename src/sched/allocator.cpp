@@ -7,7 +7,10 @@
 namespace epi::sched {
 
 MeshAllocator::MeshAllocator(arch::MeshDims dims)
-    : dims_(dims), used_(dims.core_count(), 0), free_(dims.core_count()) {}
+    : dims_(dims),
+      used_(dims.core_count(), 0),
+      quarantined_(dims.core_count(), 0),
+      free_(dims.core_count()) {}
 
 bool MeshAllocator::rect_free(unsigned r0, unsigned c0, unsigned rows,
                               unsigned cols) const noexcept {
@@ -70,11 +73,50 @@ void MeshAllocator::free(const Placement& p) {
   mark(p.origin.row, p.origin.col, p.rows, p.cols, false);
 }
 
+void MeshAllocator::quarantine(const Placement& p) {
+  if (p.origin.row + p.rows > dims_.rows || p.origin.col + p.cols > dims_.cols) {
+    throw std::logic_error("MeshAllocator::quarantine of a rectangle outside the mesh");
+  }
+  for (unsigned r = 0; r < p.rows; ++r) {
+    for (unsigned c = 0; c < p.cols; ++c) {
+      const std::size_t cell =
+          (p.origin.row + r) * dims_.cols + (p.origin.col + c);
+      if (!used_[cell]) {
+        throw std::logic_error("MeshAllocator::quarantine of a core not allocated");
+      }
+      if (!quarantined_[cell]) {
+        quarantined_[cell] = 1;
+        ++quarantined_count_;
+      }
+    }
+  }
+}
+
+bool MeshAllocator::rect_healthy(unsigned r0, unsigned c0, unsigned rows,
+                                 unsigned cols) const noexcept {
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      if (quarantined_[(r0 + r) * dims_.cols + (c0 + c)]) return false;
+    }
+  }
+  return true;
+}
+
 bool MeshAllocator::fits_ever(unsigned rows, unsigned cols,
                               bool allow_rotate) const noexcept {
   if (rows == 0 || cols == 0) return false;
-  if (rows <= dims_.rows && cols <= dims_.cols) return true;
-  return allow_rotate && cols <= dims_.rows && rows <= dims_.cols;
+  const auto shape_fits = [&](unsigned pr, unsigned pc) noexcept {
+    if (pr > dims_.rows || pc > dims_.cols) return false;
+    if (quarantined_count_ == 0) return true;
+    for (unsigned r0 = 0; r0 + pr <= dims_.rows; ++r0) {
+      for (unsigned c0 = 0; c0 + pc <= dims_.cols; ++c0) {
+        if (rect_healthy(r0, c0, pr, pc)) return true;
+      }
+    }
+    return false;
+  };
+  if (shape_fits(rows, cols)) return true;
+  return allow_rotate && rows != cols && shape_fits(cols, rows);
 }
 
 unsigned MeshAllocator::largest_free_rect() const noexcept {

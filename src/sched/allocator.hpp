@@ -46,7 +46,16 @@ public:
   /// cells never placed) is a logic error and throws.
   void free(const Placement& p);
 
+  /// Permanently retire a placement's cores (fault recovery: a watchdog
+  /// caught the resident job silent). The cells stay marked used forever --
+  /// they are never returned to the free pool, place() never considers them,
+  /// and fits_ever() accounts for the shrunken healthy mesh.
+  void quarantine(const Placement& p);
+  [[nodiscard]] unsigned quarantined_cores() const noexcept { return quarantined_count_; }
+
   /// Whether the shape could fit an *empty* mesh at all (admission check).
+  /// With quarantined cores, "empty" means every transient occupant gone but
+  /// the dead cells still dead: the shape must clear a quarantine-free rect.
   [[nodiscard]] bool fits_ever(unsigned rows, unsigned cols,
                                bool allow_rotate = true) const noexcept;
 
@@ -70,9 +79,14 @@ private:
                                unsigned cols) const noexcept;
   void mark(unsigned r0, unsigned c0, unsigned rows, unsigned cols, bool used);
 
+  [[nodiscard]] bool rect_healthy(unsigned r0, unsigned c0, unsigned rows,
+                                  unsigned cols) const noexcept;
+
   arch::MeshDims dims_;
-  std::vector<std::uint8_t> used_;  // row-major occupancy
+  std::vector<std::uint8_t> used_;         // row-major occupancy
+  std::vector<std::uint8_t> quarantined_;  // row-major; subset of used_
   unsigned free_;
+  unsigned quarantined_count_ = 0;
 };
 
 }  // namespace epi::sched

@@ -61,6 +61,21 @@ struct JobSpec {
 /// Terminal state of a job. Pending means still queued or running.
 enum class Verdict : std::uint8_t { Pending, Completed, Rejected, TimedOut, Failed };
 
+/// How a *completed* job survived injected faults. None for the common
+/// clean run; Retried when a re-execution landed back on the original
+/// rectangle; Relocated when recovery moved it (quarantined cores, or the
+/// first-fit scan simply found a different hole).
+enum class Recovery : std::uint8_t { None, Retried, Relocated };
+
+[[nodiscard]] constexpr const char* to_string(Recovery r) noexcept {
+  switch (r) {
+    case Recovery::None: return "none";
+    case Recovery::Retried: return "retried";
+    case Recovery::Relocated: return "relocated";
+  }
+  return "?";
+}
+
 [[nodiscard]] constexpr const char* to_string(Verdict v) noexcept {
   switch (v) {
     case Verdict::Pending: return "pending";
@@ -86,6 +101,13 @@ struct JobRecord {
   unsigned granted_rows = 0;   // granted shape (may be the rotated request)
   unsigned granted_cols = 0;
   bool deadline_met = true;    // false iff a deadline was set and missed
+  unsigned reexecs = 0;        // full re-executions after a detected fault
+  Recovery recovery = Recovery::None;  // how a completed job survived faults
+  bool placed_once = false;    // first_* fields below are valid
+  unsigned first_row = 0;      // very first placement, for Retried/Relocated
+  unsigned first_col = 0;      //   classification after re-execution
+  unsigned first_rows = 0;
+  unsigned first_cols = 0;
 
   [[nodiscard]] sim::Cycles queue_wait() const noexcept {
     return started >= admitted ? started - admitted : 0;

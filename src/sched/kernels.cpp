@@ -1,7 +1,10 @@
 #include "sched/kernels.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
+
+#include "util/fmt.hpp"
 
 #include "core/matmul.hpp"
 #include "core/matmul_schedule.hpp"
@@ -100,6 +103,63 @@ double job_flops(const JobSpec& spec) {
       return cores * 2.0 * spec.block * spec.block;
   }
   return 0.0;
+}
+
+std::uint32_t offload_pattern_word(std::uint32_t job, unsigned group_index,
+                                   std::uint32_t word) noexcept {
+  std::uint32_t x = job * 0x9E3779B9u ^ (group_index * 0x85EBCA6Bu) ^
+                    (word * 0xC2B2AE35u) ^ 0xA511E9B3u;
+  x ^= x >> 16;
+  x *= 0x045D9F3Bu;
+  x ^= x >> 13;
+  return x;
+}
+
+void fill_offload_input(host::System& sys, host::Workgroup& wg, const JobSpec& spec) {
+  if (spec.kind != JobKind::Offload) return;
+  auto& mem = sys.machine().mem();
+  const std::uint32_t elems = std::max(1u, spec.block) * std::max(1u, spec.block);
+  for (unsigned r = 0; r < wg.info().rows; ++r) {
+    for (unsigned c = 0; c < wg.info().cols; ++c) {
+      auto& ctx = wg.ctx(r, c);
+      const unsigned g = r * wg.info().cols + c;
+      for (std::uint32_t w = 0; w < elems; ++w) {
+        mem.write_value<std::uint32_t>(ctx.my_global(kOffloadData + 4 * w),
+                                       offload_pattern_word(spec.id, g, w),
+                                       ctx.coord());
+      }
+    }
+  }
+}
+
+std::string verify_offload_output(host::System& sys, host::Workgroup& wg,
+                                  const JobSpec& spec, arch::Addr shm_base) {
+  if (spec.kind != JobKind::Offload) return {};
+  auto& mem = sys.machine().mem();
+  const std::uint32_t elems = std::max(1u, spec.block) * std::max(1u, spec.block);
+  const std::uint32_t bytes = elems * static_cast<std::uint32_t>(sizeof(float));
+  for (unsigned r = 0; r < wg.info().rows; ++r) {
+    for (unsigned c = 0; c < wg.info().cols; ++c) {
+      auto& ctx = wg.ctx(r, c);
+      const unsigned g = r * wg.info().cols + c;
+      const Addr base = shm_base + static_cast<Addr>(g) * bytes;
+      for (std::uint32_t b = 0; b < bytes; b += 4) {
+        // Mirror the kernel's chunked copy: chunk at `off` reads the
+        // scratchpad at kOffloadData + off % 0x3000.
+        const std::uint32_t off = b / 2048 * 2048;
+        const std::uint32_t src_word = (off % 0x3000 + (b - off)) / 4;
+        const std::uint32_t want = offload_pattern_word(spec.id, g, src_word);
+        std::uint32_t got;  // hook-invisible readback: validation is not traffic
+        std::memcpy(&got, mem.resolve(base + b, sizeof got, {0, 0}).data(), sizeof got);
+        if (got != want) {
+          return util::format(
+              "offload stripe of core (%u,%u) word %u: got 0x%08x want 0x%08x",
+              ctx.coord().row, ctx.coord().col, b / 4, got, want);
+        }
+      }
+    }
+  }
+  return {};
 }
 
 device::KernelFn prepare_job(host::System& sys, host::Workgroup& wg, const JobSpec& spec,

@@ -44,4 +44,24 @@ namespace epi::sched {
 /// never for scheduling decisions -- the simulator provides ground truth).
 [[nodiscard]] double job_flops(const JobSpec& spec);
 
+// ---- fault-recovery result validation (offload jobs) ----------------------
+// With a fault plan armed, the scheduler fills each offload core's source
+// stripe with this deterministic pattern at launch and re-derives the
+// expected shared-DRAM bytes at reap, so a bit flip anywhere on the
+// scratch -> eLink -> DRAM path turns into a detected corrupt result (and a
+// bounded re-execution) instead of silently wrong output.
+
+[[nodiscard]] std::uint32_t offload_pattern_word(std::uint32_t job,
+                                                 unsigned group_index,
+                                                 std::uint32_t word) noexcept;
+
+/// Write the per-core pattern stripes into the group's scratchpads.
+void fill_offload_input(host::System& sys, host::Workgroup& wg, const JobSpec& spec);
+
+/// Compare the job's DRAM stripes against the pattern the launcher wrote.
+/// Empty on success; otherwise a description of the first mismatch.
+[[nodiscard]] std::string verify_offload_output(host::System& sys, host::Workgroup& wg,
+                                                const JobSpec& spec,
+                                                arch::Addr shm_base);
+
 }  // namespace epi::sched

@@ -36,6 +36,8 @@ RunStats summarise(const Scheduler& sched) {
       ++rs.deadlines;
       if (rec.verdict == Verdict::Completed && rec.deadline_met) ++rs.deadlines_met;
     }
+    if (rec.recovery == Recovery::Retried) ++rs.retried;
+    if (rec.recovery == Recovery::Relocated) ++rs.relocated;
     switch (rec.verdict) {
       case Verdict::Completed:
         ++rs.completed;
@@ -54,6 +56,8 @@ RunStats summarise(const Scheduler& sched) {
     }
   }
 
+  rs.faults_detected = static_cast<unsigned>(sched.fault_log().size());
+  rs.cores_quarantined = sched.allocator().quarantined_cores();
   rs.wait_p50 = percentile(waits, 50.0);
   rs.wait_p99 = percentile(waits, 99.0);
   rs.turnaround_p50 = percentile(tats, 50.0);
@@ -95,6 +99,12 @@ std::string render_report(const Scheduler& sched) {
                         rs.deadlines,
                         100.0 * rs.deadlines_met / rs.deadlines);
   }
+  if (rs.faults_detected > 0 || rs.cores_quarantined > 0) {
+    out += util::format(
+        "faults detected %u | recovered retried %u relocated %u | cores "
+        "quarantined %u\n",
+        rs.faults_detected, rs.retried, rs.relocated, rs.cores_quarantined);
+  }
   out += util::format("final fragmentation %.3f (%u cores free)\n",
                       sched.allocator().fragmentation(),
                       sched.allocator().free_cores());
@@ -125,6 +135,8 @@ std::string render_report(const Scheduler& sched) {
           rec.spec.deadline == 0 ? ""
           : rec.deadline_met    ? " deadline-met"
                                 : " DEADLINE-MISSED");
+      if (rec.recovery == Recovery::Retried) out += " retried";
+      if (rec.recovery == Recovery::Relocated) out += " relocated";
     } else if (!rec.detail.empty()) {
       out += " | " + rec.detail;
     }

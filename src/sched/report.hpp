@@ -44,6 +44,12 @@ struct RunStats {
   double throughput = 0.0;     // completed jobs per Mcycle
   sim::Cycles wait_p50 = 0, wait_p99 = 0;
   sim::Cycles turnaround_p50 = 0, turnaround_p99 = 0;
+  // Fault-recovery outcomes (all zero in a clean run, and then absent from
+  // the rendered report -- the no-fault report bytes must not change).
+  unsigned retried = 0;        // completed after re-execution, same rectangle
+  unsigned relocated = 0;      // completed after re-execution elsewhere
+  unsigned faults_detected = 0;      // FaultReports raised during the run
+  unsigned cores_quarantined = 0;    // cores retired by the watchdog
   std::vector<TenantStats> tenants;  // sorted by tenant name
 };
 

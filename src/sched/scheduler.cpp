@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -48,6 +49,9 @@ void Scheduler::define_counters() {
   g_queue_depth_ = counters_->define("sched.queue.depth", K::Gauge);
   g_running_ = counters_->define("sched.jobs.running", K::Gauge);
   g_cores_busy_ = counters_->define("sched.cores.busy", K::Gauge);
+  c_faults_ = counters_->define("sched.faults.detected", K::Monotonic);
+  c_reexecs_ = counters_->define("sched.jobs.reexecuted", K::Monotonic);
+  g_quarantined_ = counters_->define("sched.cores.quarantined", K::Gauge);
 }
 
 void Scheduler::bump(trace::Counters::Id id, double delta) {
@@ -174,35 +178,197 @@ bool Scheduler::reap_completed(sim::Cycles now) {
                              static_cast<double>(rec.finished - rec.started));
     rec.deadline_met = rec.spec.deadline == 0 || rec.finished <= rec.spec.deadline;
     std::string fail_detail;
+    bool fault_failure = false;  // fault-model error (CRC, unroutable): retryable
     if (run.wg->any_failed()) {
       try {
         run.wg->rethrow_errors();
+      } catch (const fault::FaultError& e) {
+        fault_failure = true;
+        fail_detail = e.what();
       } catch (const std::exception& e) {
         fail_detail = e.what();
       } catch (...) {
         fail_detail = "unknown kernel error";
       }
     }
+    // Result validation: with a fault plan armed, the launcher seeded this
+    // offload job's scratch stripes with a known pattern; a DRAM mismatch now
+    // means a flip slipped past the transfer CRCs (e.g. a scratchpad or
+    // direct DRAM corruption) and the job must not count as served.
+    std::string corrupt;
+    if (fail_detail.empty()) {
+      auto* inj = sys_->machine().faults();
+      if (inj != nullptr && inj->armed() && rec.spec.kind == JobKind::Offload) {
+        corrupt = verify_offload_output(*sys_, *run.wg, rec.spec, run.shm_base);
+      }
+    }
     run.wg.reset();  // release the core reservation before freeing the rect
     alloc_.free(run.placement);
-    if (!fail_detail.empty()) {
+    if (fault_failure || !corrupt.empty()) {
+      const char* kind = fault_failure ? "transfer" : "corrupt-result";
+      report_fault(now, rec.finished, rec, kind,
+                   fault_failure ? fail_detail : corrupt);
+      requeue_or_fail(run.rec, now, kind);
+    } else if (!fail_detail.empty()) {
       resolve(rec, Verdict::Failed, now, "kernel error: " + fail_detail);
       log_event(util::format("@%llu fail job=%u reason=kernel-error",
                           static_cast<unsigned long long>(now), rec.spec.id));
     } else {
+      if (rec.reexecs > 0) {
+        rec.recovery = (rec.placed_row == rec.first_row &&
+                        rec.placed_col == rec.first_col &&
+                        rec.granted_rows == rec.first_rows &&
+                        rec.granted_cols == rec.first_cols)
+                           ? Recovery::Retried
+                           : Recovery::Relocated;
+        bump(tenant_counter(rec.spec.tenant, to_string(rec.recovery)), 1.0);
+      }
       resolve(rec, Verdict::Completed, now, "");
       log_event(util::format(
-          "@%llu finish job=%u cycles=%llu deadline=%s frag=%.3f",
+          "@%llu finish job=%u cycles=%llu deadline=%s frag=%.3f%s%s",
           static_cast<unsigned long long>(now), rec.spec.id,
           static_cast<unsigned long long>(rec.service()),
           rec.spec.deadline == 0 ? "n/a" : (rec.deadline_met ? "met" : "missed"),
-          alloc_.fragmentation()));
+          alloc_.fragmentation(),
+          rec.recovery == Recovery::None ? "" : " recovery=",
+          rec.recovery == Recovery::None ? "" : to_string(rec.recovery)));
     }
     running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
     gauge(g_running_, static_cast<double>(running_.size()));
     gauge(g_cores_busy_, static_cast<double>(alloc_.used_cores()));
   }
   return progress;
+}
+
+void Scheduler::report_fault(sim::Cycles now, sim::Cycles since, const JobRecord& rec,
+                             const char* kind, std::string detail) {
+  fault_log_.push_back(
+      fault::FaultReport{now, since, rec.spec.id, kind, std::move(detail)});
+  bump(c_faults_, 1.0);
+  log_event(util::format("@%llu fault job=%u kind=%s latency=%llu",
+                      static_cast<unsigned long long>(now), rec.spec.id, kind,
+                      static_cast<unsigned long long>(now - since)));
+}
+
+/// A detected fault ended this job's current execution. Give it another full
+/// run if the re-execution budget and the (possibly degraded) mesh allow;
+/// otherwise it fails with the fault as the reason.
+void Scheduler::requeue_or_fail(std::uint32_t rec_idx, sim::Cycles now,
+                                const char* why) {
+  JobRecord& rec = records_[rec_idx];
+  if (rec.reexecs < cfg_.max_reexecutions &&
+      alloc_.fits_ever(rec.spec.rows, rec.spec.cols, cfg_.allow_rotate)) {
+    ++rec.reexecs;
+    rec.started = 0;
+    rec.finished = 0;
+    bump(c_reexecs_, 1.0);
+    const sim::Cycles backoff = cfg_.retry_backoff
+                                << std::min(rec.reexecs - 1, 20u);
+    pending_.push_back(Pending{rec_idx, now, now + backoff});
+    gauge(g_queue_depth_, static_cast<double>(pending_.size()));
+    log_event(util::format("@%llu requeue job=%u reexec=%u reason=%s retry_at=%llu",
+                        static_cast<unsigned long long>(now), rec.spec.id,
+                        rec.reexecs, why,
+                        static_cast<unsigned long long>(now + backoff)));
+  } else {
+    resolve(rec, Verdict::Failed, now,
+            util::format("%s fault persisted after %u re-executions", why,
+                      rec.reexecs));
+    log_event(util::format("@%llu fail job=%u reason=%s reexecs=%u",
+                        static_cast<unsigned long long>(now), rec.spec.id, why,
+                        rec.reexecs));
+  }
+}
+
+/// After a quarantine shrank the healthy mesh, queued shapes that can no
+/// longer ever be placed must fail now instead of waiting forever.
+void Scheduler::drop_unsatisfiable(sim::Cycles now) {
+  for (std::size_t i = 0; i < pending_.size();) {
+    JobRecord& rec = records_[pending_[i].rec];
+    if (alloc_.fits_ever(rec.spec.rows, rec.spec.cols, cfg_.allow_rotate)) {
+      ++i;
+      continue;
+    }
+    resolve(rec, Verdict::Failed, now,
+            util::format("mesh degraded: %ux%u no longer placeable (%u cores "
+                      "quarantined)",
+                      rec.spec.rows, rec.spec.cols, alloc_.quarantined_cores()));
+    log_event(util::format("@%llu fail job=%u reason=mesh-degraded",
+                        static_cast<unsigned long long>(now), rec.spec.id));
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    gauge(g_queue_depth_, static_cast<double>(pending_.size()));
+  }
+}
+
+/// Per-workgroup watchdog: a running job that has been resident past its
+/// silence budget, and whose cores the fault injector knows to be stalled or
+/// dead (or whose kernels have no runnable event left anywhere), is declared
+/// faulted. Its rectangle is quarantined -- a stalled-not-dead kernel may
+/// resume later as a zombie, so the cores are never handed to another job --
+/// and the job itself is re-queued or failed. This is what turns the old
+/// global DeadlockError into a per-job, recoverable verdict.
+bool Scheduler::check_watchdogs(sim::Cycles now) {
+  if (cfg_.watchdog_cycles == 0 || running_.empty()) return false;
+  auto* inj = sys_->machine().faults();
+  const bool engine_idle = sys_->engine().empty();
+  bool fired = false;
+  for (std::size_t i = 0; i < running_.size();) {
+    Running& run = running_[i];
+    JobRecord& rec = records_[run.rec];
+    if (run.wg->complete() || now < rec.started + cfg_.watchdog_cycles) {
+      ++i;
+      continue;
+    }
+    sim::Cycles since = fault::kNever;
+    if (inj != nullptr) {
+      for (unsigned r = 0; r < run.placement.rows; ++r) {
+        for (unsigned c = 0; c < run.placement.cols; ++c) {
+          since = std::min(since, inj->unresponsive_since(
+                                      {run.placement.origin.row + r,
+                                       run.placement.origin.col + c},
+                                      now));
+        }
+      }
+    }
+    // A core that threw (e.g. UnroutableError on a severed route) wrecks the
+    // whole group: its mates block on a barrier that can never be satisfied,
+    // so trip at the horizon instead of waiting for the engine to drain.
+    const bool wrecked = run.wg->any_failed();
+    if (since == fault::kNever && !wrecked && !engine_idle) {
+      ++i;
+      continue;
+    }
+    fired = true;
+    const sim::Cycles first_sign = since == fault::kNever ? rec.started : since;
+    std::string detail =
+        util::format("job %u silent on %ux%u@(%u,%u) for %llu cycles",
+                     rec.spec.id, run.placement.rows, run.placement.cols,
+                     run.placement.origin.row, run.placement.origin.col,
+                     static_cast<unsigned long long>(now - first_sign));
+    if (wrecked) {
+      try {
+        run.wg->rethrow_errors();
+      } catch (const std::exception& e) {
+        detail += util::format(" (core error: %s)", e.what());
+      }
+    }
+    report_fault(now, first_sign, rec, "watchdog", std::move(detail));
+    alloc_.quarantine(run.placement);
+    gauge(g_quarantined_, static_cast<double>(alloc_.quarantined_cores()));
+    log_event(util::format(
+        "@%llu quarantine origin=(%u,%u) shape=%ux%u job=%u total=%u",
+        static_cast<unsigned long long>(now), run.placement.origin.row,
+        run.placement.origin.col, run.placement.rows, run.placement.cols,
+        rec.spec.id, alloc_.quarantined_cores()));
+    graveyard_.push_back(std::move(run.wg));
+    const std::uint32_t rec_idx = run.rec;
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+    gauge(g_running_, static_cast<double>(running_.size()));
+    gauge(g_cores_busy_, static_cast<double>(alloc_.used_cores()));
+    requeue_or_fail(rec_idx, now, "watchdog");
+  }
+  if (fired) drop_unsatisfiable(now);
+  return fired;
 }
 
 bool Scheduler::drop_timed_out(sim::Cycles now) {
@@ -259,23 +425,48 @@ bool Scheduler::launch(Pending& p, sim::Cycles now) {
     return false;
   }
 
-  host::Workgroup wg = sys_->open(placement->origin.row, placement->origin.col,
-                                  placement->rows, placement->cols);
-  wg.set_label(util::format("job %u", spec.id));
+  std::optional<host::Workgroup> wg;
   arch::Addr shm_base = 0;
-  if (const std::size_t shm = job_shm_bytes(spec); shm > 0) {
-    shm_base = sys_->shm_alloc(shm);
+  try {
+    wg.emplace(sys_->open(placement->origin.row, placement->origin.col,
+                          placement->rows, placement->cols));
+    wg->set_label(util::format("job %u", spec.id));
+    if (const std::size_t shm = job_shm_bytes(spec); shm > 0) {
+      shm_base = sys_->shm_alloc(shm);
+    }
+    wg->load(prepare_job(*sys_, *wg, spec, shm_base));
+    // Fault runs seed offload inputs with a known pattern so reap-time
+    // result validation can tell corrupted output from correct output.
+    if (auto* inj = sys_->machine().faults(); inj != nullptr && inj->armed()) {
+      fill_offload_input(*sys_, *wg, spec);
+    }
+  } catch (const std::exception& e) {
+    // A launch-path error (bad shape for the kernel, shm exhaustion, ...)
+    // must fail this one job, not escape and take the serving loop down.
+    wg.reset();  // release the reservation before the rect goes back
+    alloc_.free(*placement);
+    resolve(rec, Verdict::Failed, now, std::string("launch error: ") + e.what());
+    log_event(util::format("@%llu fail job=%u reason=launch-error",
+                        static_cast<unsigned long long>(now), spec.id));
+    return true;  // terminal: caller removes the job from pending_
   }
-  wg.load(prepare_job(*sys_, wg, spec, shm_base));
 
   rec.started = now;
   rec.placed_row = placement->origin.row;
   rec.placed_col = placement->origin.col;
   rec.granted_rows = placement->rows;
   rec.granted_cols = placement->cols;
+  if (!rec.placed_once) {
+    rec.placed_once = true;
+    rec.first_row = rec.placed_row;
+    rec.first_col = rec.placed_col;
+    rec.first_rows = rec.granted_rows;
+    rec.first_cols = rec.granted_cols;
+  }
 
   auto& slot = running_.emplace_back(
-      Running{p.rec, *placement, std::make_unique<host::Workgroup>(std::move(wg))});
+      Running{p.rec, *placement,
+              std::make_unique<host::Workgroup>(std::move(*wg)), shm_base});
   // start() only after the Workgroup reached its stable heap address: the
   // kernel coroutines capture pointers into it.
   slot.wg->start();
@@ -344,6 +535,14 @@ sim::Cycles Scheduler::next_wakeup(sim::Cycles now) const {
       t = std::min(t, std::max(deadline, now + 1));
     }
   }
+  if (cfg_.watchdog_cycles != 0) {
+    // With the watchdog armed, every running job is a wakeup source: if its
+    // kernels fall silent the host still visits it at the silence horizon.
+    for (const Running& r : running_) {
+      t = std::min(t, std::max(records_[r.rec].started + cfg_.watchdog_cycles,
+                               now + 1));
+    }
+  }
   return t;
 }
 
@@ -367,19 +566,24 @@ void Scheduler::run() {
     while (progress) {
       progress = admit_arrivals(now);
       progress = reap_completed(now) || progress;
+      progress = check_watchdogs(now) || progress;
       progress = drop_timed_out(now) || progress;
       try_place(now);
     }
     if (resolved_ >= records_.size()) break;
     if (eng.step()) continue;
     // No device events runnable. If groups are still resident their kernels
-    // are deadlocked; otherwise hop host time forward to the next arrival,
-    // retry, or timeout horizon.
-    if (!running_.empty()) {
+    // are deadlocked: without a watchdog that is fatal (the pre-fault
+    // behaviour); with one, the next horizon visit converts each silent
+    // group into a FaultReport and the loop continues.
+    if (!running_.empty() && cfg_.watchdog_cycles == 0) {
       throw sim::DeadlockError(eng.live_processes(), eng.live_process_names());
     }
     const sim::Cycles t = next_wakeup(now);
     if (t == kNever) {
+      if (!running_.empty()) {
+        throw sim::DeadlockError(eng.live_processes(), eng.live_process_names());
+      }
       throw std::logic_error("scheduler stalled with unresolved jobs and no horizon");
     }
     eng.call_at(t, [] {});

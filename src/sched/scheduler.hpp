@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "host/system.hpp"
 #include "sched/allocator.hpp"
 #include "sched/job.hpp"
@@ -54,6 +55,11 @@ struct SchedConfig {
                                           // backfilling smaller jobs past a
                                           // head that has waited this long
   bool allow_rotate = true;            // try the transposed shape when placing
+  sim::Cycles watchdog_cycles = 0;     // per-job silence budget after start;
+                                       // 0 disables the watchdog (a stuck
+                                       // group then raises DeadlockError, the
+                                       // pre-fault-tolerance behaviour)
+  unsigned max_reexecutions = 2;       // full re-runs after a detected fault
 };
 
 class Scheduler {
@@ -79,6 +85,13 @@ public:
   [[nodiscard]] const MeshAllocator& allocator() const noexcept { return alloc_; }
   [[nodiscard]] trace::Counters& counters() noexcept { return *counters_; }
 
+  /// Structured fault reports (watchdog trips, failed transfers, corrupt
+  /// results): what a silent stall became instead of a DeadlockError.
+  /// Deterministic: same plan + workload, byte-identical log.
+  [[nodiscard]] const std::vector<fault::FaultReport>& fault_log() const noexcept {
+    return fault_log_;
+  }
+
   /// Cycle the last job resolved (makespan of the whole served stream).
   [[nodiscard]] sim::Cycles makespan() const noexcept { return makespan_; }
   /// Busy core-cycles / (64 * makespan): the chip-level duty factor.
@@ -96,6 +109,7 @@ private:
     std::uint32_t rec;
     Placement placement;
     std::unique_ptr<host::Workgroup> wg;  // stable address: kernels point in
+    arch::Addr shm_base = 0;              // job's DRAM region (result checks)
   };
 
   void log_event(const std::string& line);
@@ -107,6 +121,11 @@ private:
   bool launch(Pending& p, sim::Cycles now);
   void resolve(JobRecord& rec, Verdict v, sim::Cycles now, std::string detail);
   [[nodiscard]] sim::Cycles next_wakeup(sim::Cycles now) const;
+  bool check_watchdogs(sim::Cycles now);
+  void requeue_or_fail(std::uint32_t rec_idx, sim::Cycles now, const char* why);
+  void drop_unsatisfiable(sim::Cycles now);
+  void report_fault(sim::Cycles now, sim::Cycles since, const JobRecord& rec,
+                    const char* kind, std::string detail);
 
   void define_counters();
   void bump(trace::Counters::Id id, double delta);
@@ -121,6 +140,12 @@ private:
   std::size_t next_arrival_ = 0;
   std::vector<Pending> pending_;     // admission order
   std::vector<Running> running_;
+  // Workgroups whose cores were quarantined by the watchdog. Kept alive (and
+  // their reservations held) for the scheduler's lifetime: a stalled-not-dead
+  // kernel may later resume as a zombie, and its frames/reservation must
+  // stay valid while it does. Quarantined cores are never reallocated.
+  std::vector<std::unique_ptr<host::Workgroup>> graveyard_;
+  std::vector<fault::FaultReport> fault_log_;
   std::vector<std::string> log_;
   std::size_t resolved_ = 0;
   sim::Cycles makespan_ = 0;
@@ -134,7 +159,8 @@ private:
   trace::Counters* counters_ = nullptr;
   trace::Counters::Id c_submitted_, c_admitted_, c_rejected_, c_completed_,
       c_timedout_, c_failed_, c_launch_failures_, c_retries_, c_busy_cycles_,
-      g_queue_depth_, g_running_, g_cores_busy_;
+      g_queue_depth_, g_running_, g_cores_busy_, c_faults_, c_reexecs_,
+      g_quarantined_;
 };
 
 }  // namespace epi::sched

@@ -100,7 +100,7 @@ std::string save(const std::vector<JobSpec>& jobs) {
   return out;
 }
 
-std::vector<JobSpec> load(std::istream& in) {
+std::vector<JobSpec> load(std::istream& in, const std::string& source) {
   std::vector<JobSpec> jobs;
   std::string line;
   unsigned lineno = 0;
@@ -108,7 +108,7 @@ std::vector<JobSpec> load(std::istream& in) {
     ++lineno;
     const auto fail = [&](const std::string& why) -> std::runtime_error {
       return std::runtime_error(
-          util::format("workload line %u: %s", lineno, why.c_str()));
+          util::format("%s:%u: %s", source.c_str(), lineno, why.c_str()));
     };
     std::istringstream ls(line);
     std::string word;
@@ -151,7 +151,7 @@ std::vector<JobSpec> load(std::istream& in) {
 std::vector<JobSpec> load_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open workload spec: " + path);
-  return load(in);
+  return load(in, path);
 }
 
 }  // namespace epi::sched

@@ -49,9 +49,12 @@ struct TrafficConfig {
 /// fields in fixed order, one job per line).
 [[nodiscard]] std::string save(const std::vector<JobSpec>& jobs);
 
-/// Parse a workload spec; throws std::runtime_error naming the offending
-/// line on malformed input. Blank lines and `#` comments are ignored.
-[[nodiscard]] std::vector<JobSpec> load(std::istream& in);
+/// Parse a workload spec; throws std::runtime_error with a compiler-style
+/// "source:line: message" on malformed input (`source` is the file path for
+/// load_file, or the caller-supplied stream name). Blank lines and `#`
+/// comments are ignored.
+[[nodiscard]] std::vector<JobSpec> load(std::istream& in,
+                                        const std::string& source = "workload");
 [[nodiscard]] std::vector<JobSpec> load_file(const std::string& path);
 
 }  // namespace epi::sched

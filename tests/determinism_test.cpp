@@ -22,6 +22,7 @@
 #include "core/matmul.hpp"
 #include "core/microbench.hpp"
 #include "core/stencil.hpp"
+#include "fault/plan.hpp"
 #include "host/system.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
@@ -95,6 +96,41 @@ TEST(GoldenDeterminism, OnChipMatmulCycles) {
 // signature and are exquisitely sensitive to grant order.
 TEST(GoldenDeterminism, ElinkContentionIterations) {
   host::System sys;
+  const auto res = core::measure_elink_contention(sys, 2, 2, 2048, 0.001);
+  ASSERT_EQ(res.nodes.size(), 4u);
+  std::vector<std::uint64_t> iters;
+  for (const auto& n : res.nodes) iters.push_back(n.iterations);
+  EXPECT_EQ(iters, (std::vector<std::uint64_t>{37, 18, 12, 6}));
+}
+
+// The fault injector's contract is that it is *passive*: arming an empty
+// plan hooks every layer (core timed ops, mesh routing, both eLinks, DMA,
+// memory writes) yet must not move a single event. The same goldens as
+// above, byte-for-byte, with the hooks installed.
+
+TEST(GoldenDeterminism, SmallStencilCyclesWithEmptyFaultPlan) {
+  host::System sys;
+  sys.machine().enable_faults(fault::FaultPlan{});
+  core::StencilConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  cfg.iters = 5;
+  const auto ex = core::run_stencil_experiment(sys, 2, 2, cfg, 1, true);
+  EXPECT_TRUE(ex.verified);
+  EXPECT_EQ(ex.result.cycles, 7155u);
+}
+
+TEST(GoldenDeterminism, OnChipMatmulCyclesWithEmptyFaultPlan) {
+  host::System sys;
+  sys.machine().enable_faults(fault::FaultPlan{});
+  const auto r = core::run_matmul_onchip(sys, 2, 8, core::Codegen::TunedAsm, 1, true);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.cycles, 2781u);
+}
+
+TEST(GoldenDeterminism, ElinkContentionIterationsWithEmptyFaultPlan) {
+  host::System sys;
+  sys.machine().enable_faults(fault::FaultPlan{});
   const auto res = core::measure_elink_contention(sys, 2, 2, 2048, 0.001);
   ASSERT_EQ(res.nodes.size(), 4u);
   std::vector<std::uint64_t> iters;

@@ -1,0 +1,240 @@
+// Fault injection, detection and recovery tests: plan parsing errors,
+// watchdog semantics (exactly one report per stuck group, no report for a
+// merely-slow job), quarantine + relocation, transfer-CRC plumbing, and the
+// byte-identity of same-plan runs.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fault/crc.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "host/system.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+
+namespace {
+
+using namespace epi;
+
+// ---- CRC ------------------------------------------------------------------
+
+TEST(FaultCrc, MatchesKnownVectorAndChains) {
+  // IEEE 802.3 CRC-32 of "123456789" is the classic check value.
+  std::byte digits[9];
+  for (std::size_t i = 0; i < 9; ++i) digits[i] = static_cast<std::byte>('1' + i);
+  EXPECT_EQ(fault::crc32(digits), 0xCBF43926u);
+  // Chaining over a split buffer equals the one-shot CRC.
+  const auto head = fault::crc32(std::span<const std::byte>{digits, 4});
+  EXPECT_EQ(fault::crc32(std::span<const std::byte>{digits + 4, 5}, head),
+            0xCBF43926u);
+  // A single flipped bit changes the CRC.
+  digits[3] ^= std::byte{0x10};
+  EXPECT_NE(fault::crc32(digits), 0xCBF43926u);
+}
+
+// ---- parser error reporting ----------------------------------------------
+
+std::string parse_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)fault::parse(in, "plan");
+  } catch (const fault::FaultError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(FaultPlanParser, ErrorsCarrySourceAndLine) {
+  EXPECT_EQ(parse_error("kill core=2,3\n").substr(0, 7), "plan:1:");
+  EXPECT_EQ(parse_error("seed 5\n\n# ok\nwobble at=3\n").substr(0, 7), "plan:4:");
+  EXPECT_NE(parse_error("stall core=1,1 at=5 for=0\n").find("for=CYCLES > 0"),
+            std::string::npos);
+  EXPECT_NE(parse_error("mem-flip region=rom at=0\n").find("'dram' or 'scratch'"),
+            std::string::npos);
+  EXPECT_NE(parse_error("kill core=1,1 at=soon\n").find("non-numeric"),
+            std::string::npos);
+}
+
+TEST(FaultPlanParser, RoundTripsThroughText) {
+  fault::ChaosConfig cc;
+  cc.seed = 99;
+  cc.dims = {8, 8};
+  cc.core_kills = 1;
+  cc.core_stalls = 2;
+  cc.link_faults = 3;
+  cc.elink_outages = 1;
+  cc.elink_flips = 1;
+  cc.mem_flips = 2;
+  const fault::FaultPlan plan = fault::generate(cc);
+  const std::string text = fault::save(plan);
+  std::istringstream in(text);
+  EXPECT_EQ(fault::save(fault::parse(in)), text);
+}
+
+TEST(WorkloadParser, ErrorsCarrySourceAndLine) {
+  const auto err = [](const std::string& text) -> std::string {
+    std::istringstream in(text);
+    try {
+      (void)sched::load(in, "wl");
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+    return {};
+  };
+  EXPECT_EQ(err("task id=0\n").substr(0, 5), "wl:1:");
+  EXPECT_EQ(err("# fine\njob id=0 kind=sort\n").substr(0, 5), "wl:2:");
+  EXPECT_NE(err("job id=0 kind=matmul rows=0 cols=2 arrival=0\n")
+                .find("at least 1x1"),
+            std::string::npos);
+  EXPECT_NE(err("job id=zero kind=matmul rows=1 cols=1 arrival=0\n")
+                .find("non-numeric"),
+            std::string::npos);
+}
+
+// ---- watchdog semantics ---------------------------------------------------
+
+fault::FaultPlan kill_plan(unsigned row, unsigned col, sim::Cycles at) {
+  fault::FaultPlan plan;
+  fault::FaultEvent e;
+  e.kind = fault::FaultKind::KillCore;
+  e.core = {row, col};
+  e.at = at;
+  plan.events.push_back(e);
+  return plan;
+}
+
+sched::JobSpec lone_matmul(unsigned iters) {
+  sched::JobSpec s;
+  s.id = 0;
+  s.kind = sched::JobKind::Matmul;
+  s.rows = 1;
+  s.cols = 1;
+  s.iters = iters;
+  s.block = 16;
+  return s;
+}
+
+TEST(Watchdog, StalledCoreTripsExactlyOnceAndJobRelocates) {
+  host::System sys;
+  sys.machine().enable_faults(kill_plan(0, 0, 1'000));
+  sched::SchedConfig cfg;
+  cfg.watchdog_cycles = 50'000;
+  sched::Scheduler sc(sys, cfg);
+  sc.submit(lone_matmul(4));
+  sc.run();
+
+  ASSERT_EQ(sc.fault_log().size(), 1u);
+  EXPECT_EQ(sc.fault_log()[0].kind, "watchdog");
+  EXPECT_EQ(sc.fault_log()[0].job, 0u);
+  // The kill struck at cycle 1000; detection latency is bounded by the
+  // watchdog horizon, and the report points at the true fault time.
+  EXPECT_EQ(sc.fault_log()[0].since, 1'000u);
+  EXPECT_LE(sc.fault_log()[0].detected, 1'000u + 2 * 50'000u);
+
+  EXPECT_EQ(sc.allocator().quarantined_cores(), 1u);
+  const sched::JobRecord& rec = sc.records()[0];
+  EXPECT_EQ(rec.verdict, sched::Verdict::Completed);
+  EXPECT_EQ(rec.recovery, sched::Recovery::Relocated);
+  EXPECT_EQ(rec.reexecs, 1u);
+  // The re-execution cannot land on the quarantined core.
+  EXPECT_FALSE(rec.placed_row == 0 && rec.placed_col == 0);
+}
+
+TEST(Watchdog, HealthySlowJobDoesNotTrip) {
+  host::System sys;
+  sys.machine().enable_faults(fault::FaultPlan{});  // armed, but empty
+  sched::SchedConfig cfg;
+  cfg.watchdog_cycles = 2'000;  // far below the job's true service time
+  sched::Scheduler sc(sys, cfg);
+  sc.submit(lone_matmul(20));
+  sc.run();
+
+  EXPECT_TRUE(sc.fault_log().empty());
+  EXPECT_EQ(sc.allocator().quarantined_cores(), 0u);
+  const sched::JobRecord& rec = sc.records()[0];
+  EXPECT_EQ(rec.verdict, sched::Verdict::Completed);
+  EXPECT_EQ(rec.recovery, sched::Recovery::None);
+  EXPECT_GT(rec.service(), cfg.watchdog_cycles);  // it really was "late"
+}
+
+TEST(Watchdog, ZeroDisablesAndStuckGroupStillDeadlocks) {
+  host::System sys;
+  sys.machine().enable_faults(kill_plan(0, 0, 1'000));
+  sched::Scheduler sc(sys);  // watchdog_cycles == 0: pre-fault behaviour
+  sc.submit(lone_matmul(4));
+  EXPECT_THROW(sc.run(), sim::DeadlockError);
+}
+
+// ---- determinism ----------------------------------------------------------
+
+struct ChaosRun {
+  std::string report;
+  std::vector<std::string> log;
+  std::vector<std::string> faults;
+};
+
+ChaosRun run_chaos(const fault::FaultPlan& plan) {
+  host::System sys;
+  sys.machine().enable_faults(plan);
+  sched::TrafficConfig tc;
+  tc.jobs = 20;
+  tc.seed = 5;
+  tc.mean_interarrival = 25'000;
+  sched::SchedConfig cfg;
+  cfg.watchdog_cycles = 300'000;
+  sched::Scheduler sc(sys, cfg);
+  for (auto& spec : sched::generate(tc)) sc.submit(std::move(spec));
+  sc.run();
+  ChaosRun out;
+  out.report = sched::render_report(sc);
+  out.log = sc.event_log();
+  for (const auto& r : sc.fault_log()) out.faults.push_back(fault::to_line(r));
+  return out;
+}
+
+TEST(FaultDeterminism, SamePlanSameWorkloadIsByteIdentical) {
+  fault::ChaosConfig cc;
+  cc.seed = 21;
+  cc.dims = {8, 8};
+  cc.horizon = 500'000;
+  cc.core_kills = 1;
+  cc.link_faults = 5;
+  cc.elink_flips = 1;
+  cc.mem_flips = 1;
+  const fault::FaultPlan plan = fault::generate(cc);
+  const ChaosRun a = run_chaos(plan);
+  const ChaosRun b = run_chaos(plan);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.faults, b.faults);
+}
+
+TEST(FaultDeterminism, EmptyPlanMatchesUninstrumentedRun) {
+  sched::TrafficConfig tc;
+  tc.jobs = 16;
+  tc.seed = 9;
+  tc.mean_interarrival = 30'000;
+  const std::vector<sched::JobSpec> jobs = sched::generate(tc);
+
+  auto serve = [&](bool arm) {
+    host::System sys;
+    if (arm) sys.machine().enable_faults(fault::FaultPlan{});
+    sched::Scheduler sc(sys);
+    for (const auto& spec : jobs) sc.submit(spec);
+    sc.run();
+    return std::tuple<std::string, std::vector<std::string>, sim::Cycles>(
+        sched::render_report(sc), sc.event_log(), sc.makespan());
+  };
+  EXPECT_EQ(serve(false), serve(true));
+}
+
+}  // namespace

@@ -1,0 +1,313 @@
+// epi-fault: author, replay and self-check deterministic fault plans.
+//
+// A fault plan (src/fault/plan.hpp) is data: a list of scheduled hardware
+// faults plus the seed that drives every random choice made while applying
+// them. This tool generates seeded chaos plans, replays a serving workload
+// under a plan, and carries the two self-checks the CI runs:
+//
+// Usage:
+//   epi_fault gen [options]          generate a chaos plan (text to stdout)
+//     --chaos-seed=S                 plan seed                    (default 1)
+//     --kills=N --stalls=N           core faults                  (default 1/1)
+//     --links=N                      directed mesh-link outages   (default 4)
+//     --elink-outages=N              transient whole-eLink stalls (default 1)
+//     --elink-flips=N --mem-flips=N  bit corruptions              (default 1/1)
+//     --horizon=C                    faults land in [0, C)        (default 1000000)
+//     --out=FILE                     write the plan to FILE
+//
+//   epi_fault run --plan=FILE [options]   serve a workload under the plan
+//     --jobs=N --seed=S --interarrival=C  traffic (defaults 40 / 7 / 30000)
+//     --watchdog=C                        silence budget (default 400000)
+//     --log                               print decision + injection logs
+//
+//   epi_fault --selftest       plan round-trip, same-seed byte-identity,
+//                              parser error reporting, and the empty-plan
+//                              equivalence guarantee
+//   epi_fault --chaos-smoke    seeded chaos serving run (core kill, link
+//                              faults, eLink corruption): must complete,
+//                              quarantine the dead core, validate surviving
+//                              results, and replay byte-identically
+//
+// Exit status: 0 on success / all checks pass, 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "host/system.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+
+namespace {
+
+using namespace epi;
+
+bool value_flag(std::string_view arg, std::string_view flag, std::string& out) {
+  if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    out = std::string(arg.substr(flag.size() + 1));
+    return true;
+  }
+  return false;
+}
+
+struct ServeResult {
+  std::string report;
+  std::vector<std::string> decision_log;
+  std::vector<std::string> fault_log;
+  std::vector<std::string> injections;
+  unsigned completed = 0, failed = 0, unresolved = 0;
+  unsigned quarantined = 0;
+};
+
+/// One serving run of a generated workload, optionally under a fault plan.
+/// `arm_empty` attaches an injector with an empty plan (for the equivalence
+/// check); otherwise the injector is attached only when the plan has events.
+ServeResult serve(const fault::FaultPlan& plan, bool arm, unsigned jobs,
+                  std::uint64_t traffic_seed, sim::Cycles interarrival,
+                  sim::Cycles watchdog) {
+  host::System sys;
+  if (arm) sys.machine().enable_faults(plan);
+
+  sched::TrafficConfig tc;
+  tc.jobs = jobs;
+  tc.seed = traffic_seed;
+  tc.mean_interarrival = interarrival;
+
+  sched::SchedConfig cfg;
+  cfg.watchdog_cycles = watchdog;
+  sched::Scheduler sc(sys, cfg);
+  for (auto& spec : sched::generate(tc)) sc.submit(std::move(spec));
+  sc.run();
+
+  ServeResult out;
+  out.report = sched::render_report(sc);
+  out.decision_log = sc.event_log();
+  for (const auto& r : sc.fault_log()) out.fault_log.push_back(fault::to_line(r));
+  if (auto* inj = sys.machine().faults()) out.injections = inj->injections();
+  for (const auto& rec : sc.records()) {
+    if (rec.verdict == sched::Verdict::Completed) ++out.completed;
+    else if (rec.verdict == sched::Verdict::Failed) ++out.failed;
+    else if (rec.verdict == sched::Verdict::Pending) ++out.unresolved;
+  }
+  out.quarantined = sc.allocator().quarantined_cores();
+  return out;
+}
+
+int check(bool ok, const char* what, int& failures) {
+  std::printf("%-58s %s\n", what, ok ? "PASS" : "FAIL");
+  if (!ok) ++failures;
+  return failures;
+}
+
+/// Expect `parse` of `text` to throw a FaultError whose message starts with
+/// "spec:<line>:".
+bool parse_fails_at(const std::string& text, unsigned line) {
+  std::istringstream in(text);
+  try {
+    (void)fault::parse(in, "spec");
+    return false;
+  } catch (const fault::FaultError& e) {
+    const std::string want = "spec:" + std::to_string(line) + ":";
+    return std::string_view(e.what()).substr(0, want.size()) == want;
+  }
+}
+
+int selftest() {
+  int failures = 0;
+
+  // Same seed, same plan -- byte-identical text; a different seed moves the
+  // random placements.
+  fault::ChaosConfig cc;
+  cc.seed = 7;
+  cc.dims = {8, 8};
+  cc.core_kills = 2;
+  cc.core_stalls = 2;
+  cc.link_faults = 6;
+  cc.elink_outages = 2;
+  cc.elink_flips = 2;
+  cc.mem_flips = 2;
+  const std::string a = fault::save(fault::generate(cc));
+  const std::string b = fault::save(fault::generate(cc));
+  check(a == b, "generate(): same seed is byte-identical", failures);
+  cc.seed = 8;
+  check(fault::save(fault::generate(cc)) != a, "generate(): seed moves the plan",
+        failures);
+
+  // Text round-trip: parse(save(p)) re-saves to the same bytes.
+  std::istringstream in(a);
+  const fault::FaultPlan back = fault::parse(in, "roundtrip");
+  check(fault::save(back) == a, "save/parse round-trip", failures);
+
+  // Parser rejects malformed input with file:line: messages.
+  check(parse_fails_at("kill core=2,3\n", 1), "parse: kill without at= rejected",
+        failures);
+  check(parse_fails_at("seed 5\nfrob core=1,1 at=10\n", 2),
+        "parse: unknown directive names its line", failures);
+  check(parse_fails_at("link router=4 dir=east at=5 for=0\n", 1),
+        "parse: router without row,col rejected", failures);
+  check(parse_fails_at("mem-flip region=attic at=0 for=0 count=1\n", 1),
+        "parse: bad region rejected", failures);
+  check(parse_fails_at("seed banana\n", 1), "parse: non-numeric seed rejected",
+        failures);
+
+  // Empty-plan equivalence: arming an injector with no events must leave a
+  // serving run byte-identical to one with no injector at all.
+  const fault::FaultPlan empty;
+  const ServeResult bare = serve(empty, false, 24, 3, 30'000, 0);
+  const ServeResult armed = serve(empty, true, 24, 3, 30'000, 0);
+  check(bare.report == armed.report, "empty plan: reports byte-identical",
+        failures);
+  check(bare.decision_log == armed.decision_log,
+        "empty plan: decision logs byte-identical", failures);
+  check(armed.fault_log.empty() && armed.injections.empty(),
+        "empty plan: nothing detected, nothing injected", failures);
+
+  std::printf("\nselftest: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+int chaos_smoke() {
+  int failures = 0;
+
+  // A scripted plan exercising every detection path at once: one dead core,
+  // a ~5% transient directed-link outage rate, and eLink write corruption.
+  fault::ChaosConfig cc;
+  cc.seed = 11;
+  cc.dims = {8, 8};
+  cc.horizon = 900'000;
+  cc.core_kills = 1;
+  cc.link_faults = 13;  // ~5% of the 256 directed links
+  cc.transient_link_prob = 0.8;
+  cc.elink_outages = 1;
+  cc.elink_flips = 2;
+  cc.mem_flips = 1;
+  const fault::FaultPlan plan = fault::generate(cc);
+
+  const ServeResult first = serve(plan, true, 40, 7, 30'000, 400'000);
+  const ServeResult second = serve(plan, true, 40, 7, 30'000, 400'000);
+
+  // The run must terminate with a verdict for every job: faults degrade the
+  // mesh, they do not wedge the scheduler.
+  check(first.unresolved == 0, "chaos: every job reached a verdict", failures);
+  check(first.completed > 0, "chaos: serving continued under faults", failures);
+  // The kill must have been noticed and its rectangle retired. (Completed
+  // offload results are CRC/pattern-validated inside the scheduler when an
+  // injector is armed, so `completed` jobs are bit-correct by construction.)
+  check(first.quarantined >= 1, "chaos: dead core quarantined", failures);
+  check(!first.fault_log.empty(), "chaos: faults were detected and reported",
+        failures);
+  // Determinism: the whole run -- report, decisions, detections, injections
+  // -- replays byte-identically from (plan, workload seed).
+  check(second.report == first.report, "chaos replay: report byte-identical",
+        failures);
+  check(second.decision_log == first.decision_log,
+        "chaos replay: decision log byte-identical", failures);
+  check(second.fault_log == first.fault_log,
+        "chaos replay: fault log byte-identical", failures);
+  check(second.injections == first.injections,
+        "chaos replay: injection log byte-identical", failures);
+
+  std::printf("\n-- fault log --\n");
+  for (const auto& line : first.fault_log) std::printf("%s\n", line.c_str());
+  std::printf("\nchaos-smoke: %s (completed %u, failed %u, quarantined %u)\n",
+              failures == 0 ? "PASS" : "FAIL", first.completed, first.failed,
+              first.quarantined);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string verb;
+  std::string plan_path, out_path, val;
+  fault::ChaosConfig cc;
+  cc.dims = {8, 8};
+  cc.core_kills = 1;
+  cc.core_stalls = 1;
+  cc.link_faults = 4;
+  cc.elink_outages = 1;
+  cc.elink_flips = 1;
+  cc.mem_flips = 1;
+  unsigned jobs = 40;
+  std::uint64_t traffic_seed = 7;
+  sim::Cycles interarrival = 30'000;
+  sim::Cycles watchdog = 400'000;
+  bool print_log = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "gen" || arg == "run") { verb = arg; continue; }
+    if (arg == "--selftest") { verb = "selftest"; continue; }
+    if (arg == "--chaos-smoke") { verb = "chaos-smoke"; continue; }
+    if (arg == "--log") { print_log = true; continue; }
+    if (value_flag(arg, "--plan", plan_path) || value_flag(arg, "--out", out_path))
+      continue;
+    if (value_flag(arg, "--chaos-seed", val)) { cc.seed = std::stoull(val); continue; }
+    if (value_flag(arg, "--kills", val)) { cc.core_kills = std::stoul(val); continue; }
+    if (value_flag(arg, "--stalls", val)) { cc.core_stalls = std::stoul(val); continue; }
+    if (value_flag(arg, "--links", val)) { cc.link_faults = std::stoul(val); continue; }
+    if (value_flag(arg, "--elink-outages", val)) { cc.elink_outages = std::stoul(val); continue; }
+    if (value_flag(arg, "--elink-flips", val)) { cc.elink_flips = std::stoul(val); continue; }
+    if (value_flag(arg, "--mem-flips", val)) { cc.mem_flips = std::stoul(val); continue; }
+    if (value_flag(arg, "--horizon", val)) { cc.horizon = std::stoull(val); continue; }
+    if (value_flag(arg, "--jobs", val)) { jobs = static_cast<unsigned>(std::stoul(val)); continue; }
+    if (value_flag(arg, "--seed", val)) { traffic_seed = std::stoull(val); continue; }
+    if (value_flag(arg, "--interarrival", val)) { interarrival = std::stoull(val); continue; }
+    if (value_flag(arg, "--watchdog", val)) { watchdog = std::stoull(val); continue; }
+    std::fprintf(stderr, "epi_fault: unknown argument '%s' (see the header of tools/epi_fault.cpp)\n",
+                 std::string(arg).c_str());
+    return 2;
+  }
+
+  try {
+    if (verb == "selftest") return selftest();
+    if (verb == "chaos-smoke") return chaos_smoke();
+    if (verb == "gen") {
+      const std::string text = fault::save(fault::generate(cc));
+      if (out_path.empty()) {
+        std::cout << text;
+      } else {
+        std::ofstream os(out_path, std::ios::binary | std::ios::trunc);
+        if (!os) throw std::runtime_error("cannot write plan: " + out_path);
+        os << text;
+        std::cout << "wrote " << out_path << "\n";
+      }
+      return 0;
+    }
+    if (verb == "run") {
+      if (plan_path.empty()) {
+        std::fprintf(stderr, "epi_fault run: --plan=FILE is required\n");
+        return 2;
+      }
+      const fault::FaultPlan plan = fault::load_file(plan_path);
+      const ServeResult r =
+          serve(plan, true, jobs, traffic_seed, interarrival, watchdog);
+      std::cout << r.report;
+      if (!r.fault_log.empty()) {
+        std::cout << "\n-- fault log --\n";
+        for (const auto& line : r.fault_log) std::cout << line << "\n";
+      }
+      if (print_log) {
+        std::cout << "\n-- injections --\n";
+        for (const auto& line : r.injections) std::cout << line << "\n";
+        std::cout << "\n-- decision log --\n";
+        for (const auto& line : r.decision_log) std::cout << line << "\n";
+      }
+      return r.unresolved == 0 ? 0 : 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "epi_fault: error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "epi_fault: expected a verb: gen | run | --selftest | --chaos-smoke\n");
+  return 2;
+}

@@ -16,6 +16,13 @@
 //     --report=FILE      write the run report to FILE as well as stdout
 //     --log              print the scheduler's decision log
 //     --trace=FILE       Perfetto trace of the whole serving run
+//     --plan=FILE        arm a fault-injection plan (see src/fault/plan.hpp);
+//                        the watchdog defaults on (400000 cycles) so silent
+//                        stalls become FaultReports instead of deadlocks
+//     --watchdog=C       per-job silence budget in cycles (0 disables)
+//     --strict           exit non-zero if any job ends with a Failed verdict
+//                        (default: failures are reported but tolerated --
+//                        a degraded chip keeps serving)
 //     --selftest         run the workload twice on fresh machines and fail
 //                        unless reports and decision logs are byte-identical
 //                        (also asserts >=3 workgroups were resident at once)
@@ -27,6 +34,8 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "host/system.hpp"
 #include "sched/report.hpp"
 #include "sched/scheduler.hpp"
@@ -47,6 +56,10 @@ struct Options {
   std::string spec_out;
   std::string report_path;
   std::string trace_path;
+  std::string plan_path;
+  sim::Cycles watchdog = 0;
+  bool watchdog_set = false;
+  bool strict = false;
   bool print_log = false;
   bool selftest = false;
 };
@@ -63,16 +76,25 @@ bool value_flag(std::string_view arg, std::string_view flag, std::string& out) {
 struct RunOutput {
   std::string report;
   std::vector<std::string> log;
+  std::vector<std::string> fault_log;
   unsigned peak_resident = 0;
   unsigned unresolved = 0;
+  unsigned failed = 0;
 };
 
 RunOutput run_once(const std::vector<sched::JobSpec>& jobs, const Options& opt,
                    bool trace) {
   host::System sys;
   if (trace) sys.machine().enable_tracing();
+  if (!opt.plan_path.empty()) {
+    sys.machine().enable_faults(fault::load_file(opt.plan_path));
+  }
   sched::SchedConfig cfg;
   cfg.queue_capacity = opt.queue;
+  // With a plan armed, silent stalls are expected: default the watchdog on
+  // so they become FaultReports instead of an engine deadlock.
+  cfg.watchdog_cycles =
+      opt.watchdog_set ? opt.watchdog : (opt.plan_path.empty() ? 0 : 400'000);
   sched::Scheduler sc(sys, cfg);
   for (const auto& spec : jobs) sc.submit(spec);
   sc.run();
@@ -80,9 +102,11 @@ RunOutput run_once(const std::vector<sched::JobSpec>& jobs, const Options& opt,
   RunOutput out;
   out.report = sched::render_report(sc);
   out.log = sc.event_log();
+  for (const auto& r : sc.fault_log()) out.fault_log.push_back(fault::to_line(r));
   out.peak_resident = sc.peak_resident();
   for (const auto& rec : sc.records()) {
     if (rec.verdict == sched::Verdict::Pending) ++out.unresolved;
+    if (rec.verdict == sched::Verdict::Failed) ++out.failed;
   }
   if (trace && !opt.trace_path.empty()) {
     std::ofstream os(opt.trace_path, std::ios::binary | std::ios::trunc);
@@ -102,9 +126,16 @@ int main(int argc, char** argv) {
     if (value_flag(arg, "--spec", opt.spec_path) ||
         value_flag(arg, "--spec-out", opt.spec_out) ||
         value_flag(arg, "--report", opt.report_path) ||
-        value_flag(arg, "--trace", opt.trace_path)) {
+        value_flag(arg, "--trace", opt.trace_path) ||
+        value_flag(arg, "--plan", opt.plan_path)) {
       continue;
     }
+    if (value_flag(arg, "--watchdog", val)) {
+      opt.watchdog = std::stoull(val);
+      opt.watchdog_set = true;
+      continue;
+    }
+    if (arg == "--strict") { opt.strict = true; continue; }
     if (value_flag(arg, "--jobs", val)) { opt.jobs = static_cast<unsigned>(std::stoul(val)); continue; }
     if (value_flag(arg, "--seed", val)) { opt.seed = std::stoull(val); continue; }
     if (value_flag(arg, "--interarrival", val)) { opt.interarrival = std::stoull(val); continue; }
@@ -139,6 +170,10 @@ int main(int argc, char** argv) {
 
     const RunOutput first = run_once(jobs, opt, !opt.trace_path.empty());
     std::cout << first.report;
+    if (!first.fault_log.empty()) {
+      std::cout << "\n-- fault log --\n";
+      for (const auto& line : first.fault_log) std::cout << line << "\n";
+    }
     if (opt.print_log) {
       std::cout << "\n-- decision log --\n";
       for (const auto& line : first.log) std::cout << line << "\n";
@@ -158,6 +193,10 @@ int main(int argc, char** argv) {
                    first.unresolved);
       return 1;
     }
+    if (opt.strict && first.failed != 0) {
+      std::fprintf(stderr, "epi_serve: --strict: %u jobs failed\n", first.failed);
+      return 1;
+    }
 
     if (opt.selftest) {
       const RunOutput second = run_once(jobs, opt, false);
@@ -170,6 +209,11 @@ int main(int argc, char** argv) {
       if (second.log != first.log) {
         std::fprintf(stderr, "epi_serve: FAIL: decision logs differ between "
                              "two identical runs\n");
+        ok = false;
+      }
+      if (second.fault_log != first.fault_log) {
+        std::fprintf(stderr, "epi_serve: FAIL: fault logs differ between two "
+                             "identical runs\n");
         ok = false;
       }
       if (first.peak_resident < 3) {
