@@ -1,0 +1,16 @@
+; Ping-pong, consumer side (core 0,1 of a 1x2 workgroup).
+;
+; Spin on the ready flag before touching the deposited word (the fix for
+; the paper's Listing-2 read-after-remote-write race), then ack back into
+; the producer's scratchpad so it may retire.
+
+mov r2, #0x5000       ; ready flag, raised by the producer
+wait r2, #1
+
+mov r0, #0x4000       ; payload the producer deposited
+ldr r1, [r0, #0]
+
+mov r4, #0x80805100   ; ack word in core (0,0)
+mov r5, #1
+str r5, [r4, #0]
+halt

@@ -1,0 +1,18 @@
+; Ping-pong, producer side (core 0,0 of a 1x2 workgroup).
+;
+; The paper's Listing-1 pattern done right: deposit the payload in the
+; neighbour's scratchpad, *then* raise its flag, and wait for the ack
+; before retiring. Verified race- and deadlock-free by
+;   epi_lint --workgroup=1x2 pingpong_producer.s pingpong_consumer.s
+
+mov r0, #0x80904000   ; payload word in core (0,1)
+mov r1, #42
+str r1, [r0, #0]
+
+mov r2, #0x80905000   ; ready flag in core (0,1) -- written after the data
+mov r3, #1
+str r3, [r2, #0]
+
+mov r4, #0x5100       ; our own ack word; the consumer releases it
+wait r4, #1
+halt

@@ -1,0 +1,16 @@
+; SPMD phase program: every core runs this same source (replicate it with
+; epi_lint --workgroup=2x2 spmd_barrier.s).
+;
+; Each core composes its own global window from COREID -- the
+; placement-independent idiom from the paper's address-map discussion --
+; writes a phase marker into its own scratchpad through that window, and
+; joins the workgroup barrier so the phases retire together.
+
+coreid r0
+lsl r0, r0, #20       ; core_id << 20 = base of our 1 MB window
+mov r1, #0x2000
+add r0, r0, r1        ; &marker, spelled as a global address
+mov r2, #1
+str r2, [r0, #0]
+bar
+halt

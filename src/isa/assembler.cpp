@@ -111,8 +111,54 @@ const std::map<std::string, Opcode, std::less<>> kMnemonics = {
     {"add", Opcode::Add},     {"sub", Opcode::Sub},   {"ldr", Opcode::Ldr},
     {"ldrd", Opcode::Ldrd},   {"str", Opcode::Str},   {"strd", Opcode::Strd},
     {"b", Opcode::B},         {"bne", Opcode::Bne},   {"beq", Opcode::Beq},
-    {"halt", Opcode::Halt},
+    {"halt", Opcode::Halt},   {"coreid", Opcode::CoreId},
+    {"lsl", Opcode::Lsl},     {"wait", Opcode::Wait}, {"bar", Opcode::Bar},
+    {"testset", Opcode::Testset},
 };
+
+/// Parse a bare number operand of a `.dma` directive: decimal or 0x-hex,
+/// optionally negative (strides). No '#' prefix -- directives are data,
+/// not instructions.
+std::int64_t parse_dma_num(const std::string& t, unsigned line) {
+  std::string_view body(t);
+  bool neg = false;
+  if (!body.empty() && body[0] == '-') {
+    neg = true;
+    body.remove_prefix(1);
+  }
+  int base = 10;
+  if (body.size() > 2 && body[0] == '0' && body[1] == 'x') {
+    base = 16;
+    body.remove_prefix(2);
+  }
+  std::uint32_t mag = 0;
+  const auto [p, ec] = std::from_chars(body.data(), body.data() + body.size(), mag, base);
+  if (ec != std::errc{} || p != body.data() + body.size()) {
+    throw AssemblyError(line, "bad .dma operand '" + t + "'");
+  }
+  const auto v = static_cast<std::int64_t>(mag);
+  return neg ? -v : v;
+}
+
+DmaDecl parse_dma(const std::vector<std::string>& tok, unsigned line) {
+  if (tok.size() != 10) {
+    throw AssemblyError(line,
+                        ".dma needs 9 operands: src dst elem inner_count "
+                        "src_istride dst_istride outer_count src_ostride dst_ostride");
+  }
+  DmaDecl d;
+  d.src = static_cast<std::uint32_t>(parse_dma_num(tok[1], line));
+  d.dst = static_cast<std::uint32_t>(parse_dma_num(tok[2], line));
+  d.elem = static_cast<std::uint32_t>(parse_dma_num(tok[3], line));
+  d.inner_count = static_cast<std::uint32_t>(parse_dma_num(tok[4], line));
+  d.src_inner_stride = static_cast<std::int32_t>(parse_dma_num(tok[5], line));
+  d.dst_inner_stride = static_cast<std::int32_t>(parse_dma_num(tok[6], line));
+  d.outer_count = static_cast<std::uint32_t>(parse_dma_num(tok[7], line));
+  d.src_outer_stride = static_cast<std::int32_t>(parse_dma_num(tok[8], line));
+  d.dst_outer_stride = static_cast<std::int32_t>(parse_dma_num(tok[9], line));
+  d.line = line;
+  return d;
+}
 
 }  // namespace
 
@@ -148,6 +194,11 @@ Program assemble(std::string_view text) {
       tok.erase(tok.begin());
     }
     if (tok.empty()) continue;
+
+    if (tok[0] == ".dma") {
+      prog.dma.push_back(parse_dma(tok, line_no));
+      continue;
+    }
 
     const auto it = kMnemonics.find(tok[0]);
     if (it == kMnemonics.end()) {
@@ -209,6 +260,37 @@ Program assemble(std::string_view text) {
         break;
       case Opcode::Halt:
         if (tok.size() != 1) throw AssemblyError(line_no, "halt takes no operands");
+        break;
+      case Opcode::CoreId:
+        if (tok.size() != 2) throw AssemblyError(line_no, "expected 'coreid rd'");
+        ins.rd = static_cast<std::uint8_t>(parse_reg(tok[1], line_no));
+        break;
+      case Opcode::Lsl:
+        if (tok.size() != 4) throw AssemblyError(line_no, "expected 'lsl rd, rn, #imm'");
+        ins.rd = static_cast<std::uint8_t>(parse_reg(tok[1], line_no));
+        ins.rn = static_cast<std::uint8_t>(parse_reg(tok[2], line_no));
+        ins.has_imm = true;
+        ins.imm = parse_imm(tok[3], line_no);
+        if (ins.imm < 0 || ins.imm > 31) {
+          throw AssemblyError(line_no, "lsl shift must be 0..31");
+        }
+        break;
+      case Opcode::Wait:
+        if (tok.size() != 3) throw AssemblyError(line_no, "expected 'wait rn, #imm'");
+        ins.rn = static_cast<std::uint8_t>(parse_reg(tok[1], line_no));
+        ins.has_imm = true;
+        ins.imm = parse_imm(tok[2], line_no);
+        break;
+      case Opcode::Bar:
+        if (tok.size() != 1) throw AssemblyError(line_no, "bar takes no operands");
+        break;
+      case Opcode::Testset:
+        if (tok.size() < 4) throw AssemblyError(line_no, "expected 'testset rd, [rn, #imm]'");
+        ins.rd = static_cast<std::uint8_t>(parse_reg(tok[1], line_no));
+        parse_mem_operand(tok, 2, line_no, ins);
+        if (ins.postmodify) {
+          throw AssemblyError(line_no, "testset does not support postmodify addressing");
+        }
         break;
       case Opcode::MovReg:
         break;  // produced by the MovImm case above, never matched directly

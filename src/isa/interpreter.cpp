@@ -102,7 +102,18 @@ ExecStats execute(const Program& prog, RegFile& regs, std::span<std::byte> memor
         need(ins.rd, true);
         need(ins.rd + 1, true);
         break;
+      case Opcode::Lsl:
+        need(ins.rn, false);
+        break;
+      case Opcode::Wait:
+        need(ins.rn, false);
+        break;
+      case Opcode::Testset:
+        need(ins.rn, false);
+        break;
       case Opcode::MovImm:
+      case Opcode::CoreId:
+      case Opcode::Bar:
       case Opcode::B:
       case Opcode::Bne:
       case Opcode::Beq:
@@ -172,9 +183,16 @@ ExecStats execute(const Program& prog, RegFile& regs, std::span<std::byte> memor
         const std::uint32_t base = static_cast<std::uint32_t>(regs.i(ins.rn));
         const std::size_t addr =
             ins.postmodify ? base : base + static_cast<std::uint32_t>(ins.imm);
-        regs.set_raw(ins.rd, load32(memory, addr, pc));
-        if (ins.op == Opcode::Ldrd) {
-          regs.set_raw(ins.rd + 1, load32(memory, addr + 4, pc));
+        const std::size_t span = ins.op == Opcode::Ldrd ? 8 : 4;
+        if (cfg.solo_sync && addr + span > memory.size()) {
+          // Remote scratchpad in solo mode: no peer image, read as zero.
+          regs.set_raw(ins.rd, 0);
+          if (ins.op == Opcode::Ldrd) regs.set_raw(ins.rd + 1, 0);
+        } else {
+          regs.set_raw(ins.rd, load32(memory, addr, pc));
+          if (ins.op == Opcode::Ldrd) {
+            regs.set_raw(ins.rd + 1, load32(memory, addr + 4, pc));
+          }
         }
         if (ins.postmodify) regs.set_i(ins.rn, regs.i(ins.rn) + ins.imm);
         break;
@@ -184,9 +202,14 @@ ExecStats execute(const Program& prog, RegFile& regs, std::span<std::byte> memor
         const std::uint32_t base = static_cast<std::uint32_t>(regs.i(ins.rn));
         const std::size_t addr =
             ins.postmodify ? base : base + static_cast<std::uint32_t>(ins.imm);
-        store32(memory, addr, regs.raw(ins.rd), pc);
-        if (ins.op == Opcode::Strd) {
-          store32(memory, addr + 4, regs.raw(ins.rd + 1), pc);
+        const std::size_t span = ins.op == Opcode::Strd ? 8 : 4;
+        if (cfg.solo_sync && addr + span > memory.size()) {
+          // Remote scratchpad in solo mode: drop the store.
+        } else {
+          store32(memory, addr, regs.raw(ins.rd), pc);
+          if (ins.op == Opcode::Strd) {
+            store32(memory, addr + 4, regs.raw(ins.rd + 1), pc);
+          }
         }
         if (ins.postmodify) regs.set_i(ins.rn, regs.i(ins.rn) + ins.imm);
         break;
@@ -200,6 +223,44 @@ ExecStats execute(const Program& prog, RegFile& regs, std::span<std::byte> memor
       case Opcode::Beq:
         branch_taken = z_flag;
         break;
+      case Opcode::CoreId:
+        regs.set_raw(ins.rd, cfg.core_id);
+        break;
+      case Opcode::Lsl:
+        regs.set_raw(ins.rd, regs.raw(ins.rn)
+                                 << static_cast<std::uint32_t>(ins.imm & 31));
+        break;
+      case Opcode::Wait: {
+        const std::uint32_t base = regs.raw(ins.rn);
+        const bool in_bounds = static_cast<std::size_t>(base) + 4 <= memory.size();
+        const std::uint32_t got = in_bounds ? load32(memory, base, pc) : 0;
+        if (!(in_bounds && got == static_cast<std::uint32_t>(ins.imm)) &&
+            !cfg.solo_sync) {
+          throw ExecutionError(pc, "wait condition never satisfied "
+                                   "(flag not set; solo execution)");
+        }
+        break;
+      }
+      case Opcode::Bar:
+        if (!cfg.solo_sync) {
+          throw ExecutionError(pc, "bar requires workgroup execution "
+                                   "(solo interpreter cannot rendezvous)");
+        }
+        break;
+      case Opcode::Testset: {
+        const std::uint32_t base = regs.raw(ins.rn);
+        const std::size_t addr = base + static_cast<std::uint32_t>(ins.imm);
+        std::uint32_t old = 0;
+        if (addr + 4 <= memory.size()) {
+          old = load32(memory, addr, pc);
+          if (old == 0) store32(memory, addr, 1, pc);
+        } else if (!cfg.solo_sync) {
+          throw ExecutionError(pc, "testset out of memory bounds");
+        }
+        regs.set_raw(ins.rd, old);
+        z_flag = old == 0;
+        break;
+      }
       case Opcode::Halt:
         break;  // handled above
     }
@@ -235,8 +296,14 @@ ExecStats execute(const Program& prog, RegFile& regs, std::span<std::byte> memor
       case Opcode::MovReg:
       case Opcode::Add:
       case Opcode::Sub:
+      case Opcode::CoreId:
+      case Opcode::Lsl:
         sb.ready[ins.rd] = issue + 1;
         sb.fpu_ready[ins.rd] = issue + 1;
+        break;
+      case Opcode::Testset:
+        sb.ready[ins.rd] = issue + cfg.load_latency;
+        sb.fpu_ready[ins.rd] = issue + cfg.load_latency;
         break;
       default:
         break;

@@ -54,6 +54,14 @@ struct InterpreterConfig {
   std::uint32_t taken_branch_penalty = 3;
   /// Execution aborts past this many instructions (runaway guard).
   std::uint64_t max_instructions = 50'000'000;
+  /// Value the COREID instruction reads (the core's 12-bit mesh id).
+  std::uint32_t core_id = 0;
+  /// Solo-execution mode for single-core cycle estimates of multi-core
+  /// programs: WAIT whose condition does not hold proceeds instead of
+  /// throwing, BAR is a nop, and accesses outside the local image are
+  /// tolerated (stores dropped, loads return 0). Off by default -- a
+  /// genuine single-core program blocking on WAIT is an error.
+  bool solo_sync = false;
 };
 
 /// Execute `prog` over `regs` and a byte-addressable memory image (the

@@ -6,7 +6,10 @@
 //   * memory: LDR/STR word and LDRD/STRD doubleword, with base+offset and
 //     base-postmodify addressing (the paper's progressive register
 //     replacement relies on postmodify);
-//   * control: B, BNE, BEQ, HALT.
+//   * control: B, BNE, BEQ, HALT;
+//   * synchronisation (section V's flag/barrier/mutex idioms, lowered to
+//     single instructions so the static verifier can see them): COREID,
+//     LSL, WAIT, BAR, TESTSET, plus `.dma` descriptor declarations.
 //
 // The eCore has 64 general registers, each holding a 32-bit float or
 // integer (section VI: "a total of 64 accessible 32-bit registers").
@@ -41,6 +44,12 @@ enum class Opcode : std::uint8_t {
   Bne,  // branch if Z clear
   Beq,  // branch if Z set
   Halt,
+  // Synchronisation (IALU slot)
+  CoreId,   // rd = this core's 12-bit mesh coreid (MOVFS rd, COREID)
+  Lsl,      // rd = rn << imm  (address composition: coreid << 20)
+  Wait,     // spin until mem32[rn] == imm  (flag-wait idiom)
+  Bar,      // workgroup barrier rendezvous
+  Testset,  // atomic: rd = mem32[rn+imm]; Z = (rd==0); if rd==0 mem32 = 1
 };
 
 [[nodiscard]] constexpr bool is_fpu(Opcode op) noexcept {
@@ -56,6 +65,11 @@ enum class Opcode : std::uint8_t {
 [[nodiscard]] constexpr bool is_branch(Opcode op) noexcept {
   return op == Opcode::B || op == Opcode::Bne || op == Opcode::Beq;
 }
+/// Cross-core synchronisation instructions (WAIT/BAR/TESTSET): the inputs
+/// to the workgroup happens-before analysis in lint/workgroup.hpp.
+[[nodiscard]] constexpr bool is_sync(Opcode op) noexcept {
+  return op == Opcode::Wait || op == Opcode::Bar || op == Opcode::Testset;
+}
 
 struct Instruction {
   Opcode op = Opcode::Halt;
@@ -67,6 +81,24 @@ struct Instruction {
   std::int32_t imm = 0;      // immediate / displacement / branch target
 };
 
+/// A DMA descriptor declared in assembly via the `.dma` directive. The
+/// fields mirror dma::DmaDescriptor (a 2-D strided copy: `outer_count`
+/// rows of `inner_count` elements of `elem` bytes, inner strides applied
+/// per element and outer strides applied on top when a row wraps). Kept
+/// as plain integers here so isa/ stays independent of dma/.
+struct DmaDecl {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t elem = 4;
+  std::uint32_t inner_count = 0;
+  std::int32_t src_inner_stride = 0;
+  std::int32_t dst_inner_stride = 0;
+  std::uint32_t outer_count = 1;
+  std::int32_t src_outer_stride = 0;
+  std::int32_t dst_outer_stride = 0;
+  unsigned line = 0;  // 1-based source line, 0 when untracked
+};
+
 /// An assembled program: instructions plus, for diagnostics, the source
 /// text and 1-based source line number of each (both empty/0 for programs
 /// built by hand rather than through the assembler).
@@ -74,6 +106,7 @@ struct Program {
   std::vector<Instruction> code;
   std::vector<std::string> source;
   std::vector<unsigned> lines;
+  std::vector<DmaDecl> dma;  // `.dma` declarations, in source order
 
   [[nodiscard]] std::size_t size() const noexcept { return code.size(); }
   /// Source line of instruction `i`, or 0 when not tracked.

@@ -31,10 +31,19 @@ struct Finding {
   std::string message;
 
   /// Render as "file:line: severity: message [pass]" -- the classic
-  /// compiler-diagnostic shape, so editors and CI greps pick it up.
+  /// compiler-diagnostic shape, so editors and CI greps pick it up. When
+  /// the program carries no source-line tracking (hand-built Programs),
+  /// fall back to the instruction index as "file:<instr#i>:" rather than
+  /// printing a misleading "file:0:"; with neither, just "file:".
   [[nodiscard]] std::string format(const std::string& file) const {
-    return file + ":" + std::to_string(line) + ": " + severity_name(severity) + ": " +
-           message + " [" + pass + "]";
+    std::string at;
+    if (line > 0) {
+      at = ":" + std::to_string(line);
+    } else if (instr != kNoInstr) {
+      at = ":<instr#" + std::to_string(instr) + ">";
+    }
+    return file + at + ": " + severity_name(severity) + ": " + message + " [" +
+           pass + "]";
   }
 };
 

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <bitset>
-#include <cstdio>
 #include <string>
 
 #include "lint/cfg.hpp"
+#include "lint/dataflow.hpp"
 
 namespace epi::lint {
 
@@ -15,165 +14,20 @@ namespace {
 using isa::Instruction;
 using isa::Opcode;
 
-constexpr unsigned kRegs = isa::RegFile::kCount;
-constexpr unsigned kZ = kRegs;  // pseudo-register index for the Z flag
-using Bits = std::bitset<kRegs + 1>;
+using dataflow::AV;
+using dataflow::Bits;
+using dataflow::State;
+using dataflow::access_size;
+using dataflow::classify_addr;
+using dataflow::for_each_def;
+using dataflow::for_each_use;
+using dataflow::hex;
+using dataflow::kRegs;
+using dataflow::kZ;
+using dataflow::merge_state;
+using dataflow::xfer_const;
 
-std::string reg(unsigned r) { return "r" + std::to_string(r); }
-
-std::string hex(std::int64_t v) {
-  char buf[24];
-  if (v < 0) {
-    std::snprintf(buf, sizeof buf, "-0x%llX", static_cast<unsigned long long>(-v));
-  } else {
-    std::snprintf(buf, sizeof buf, "0x%llX", static_cast<unsigned long long>(v));
-  }
-  return buf;
-}
-
-/// Registers (and kZ) an instruction reads. Register pairs past r63 are
-/// clamped; the reg-pair pass reports those separately.
-template <typename Fn>
-void for_each_use(const Instruction& ins, Fn fn) {
-  switch (ins.op) {
-    case Opcode::Fmadd:
-      fn(ins.rd);  // the accumulator is also a source
-      [[fallthrough]];
-    case Opcode::Fmul:
-    case Opcode::Fadd:
-    case Opcode::Fsub:
-      fn(ins.rn);
-      fn(ins.rm);
-      break;
-    case Opcode::MovImm:
-      break;
-    case Opcode::MovReg:
-      fn(ins.rn);
-      break;
-    case Opcode::Add:
-    case Opcode::Sub:
-      fn(ins.rn);
-      if (!ins.has_imm) fn(ins.rm);
-      break;
-    case Opcode::Ldr:
-    case Opcode::Ldrd:
-      fn(ins.rn);
-      break;
-    case Opcode::Str:
-      fn(ins.rn);
-      fn(ins.rd);
-      break;
-    case Opcode::Strd:
-      fn(ins.rn);
-      fn(ins.rd);
-      if (ins.rd + 1u < kRegs) fn(ins.rd + 1u);
-      break;
-    case Opcode::Bne:
-    case Opcode::Beq:
-      fn(kZ);
-      break;
-    case Opcode::B:
-    case Opcode::Halt:
-      break;
-  }
-}
-
-/// Registers (and kZ) an instruction writes.
-template <typename Fn>
-void for_each_def(const Instruction& ins, Fn fn) {
-  switch (ins.op) {
-    case Opcode::Fmadd:
-    case Opcode::Fmul:
-    case Opcode::Fadd:
-    case Opcode::Fsub:
-    case Opcode::MovImm:
-    case Opcode::MovReg:
-      fn(ins.rd);
-      break;
-    case Opcode::Add:
-    case Opcode::Sub:
-      fn(ins.rd);
-      fn(kZ);
-      break;
-    case Opcode::Ldr:
-      fn(ins.rd);
-      break;
-    case Opcode::Ldrd:
-      fn(ins.rd);
-      if (ins.rd + 1u < kRegs) fn(ins.rd + 1u);
-      break;
-    default:
-      break;  // Str/Strd/B/Bne/Beq/Halt write no register result
-  }
-  if ((isa::is_load(ins.op) || isa::is_store(ins.op)) && ins.postmodify) {
-    fn(ins.rn);
-  }
-}
-
-/// Flat constant lattice for the memory-shape pass: unknown or one int.
-struct AV {
-  bool known = false;
-  std::int64_t v = 0;
-  friend bool operator==(const AV&, const AV&) = default;
-};
-using State = std::array<AV, kRegs>;
-
-AV merge_av(AV a, AV b) {
-  if (a.known && b.known && a.v == b.v) return a;
-  return AV{};
-}
-
-State merge_state(const State& a, const State& b) {
-  State s;
-  for (unsigned r = 0; r < kRegs; ++r) s[r] = merge_av(a[r], b[r]);
-  return s;
-}
-
-void xfer_const(const Instruction& ins, State& st) {
-  const auto bump = [&](unsigned r, std::int64_t d) {
-    if (st[r].known) st[r].v += d;
-  };
-  switch (ins.op) {
-    case Opcode::MovImm:
-      st[ins.rd] = AV{true, ins.imm};
-      break;
-    case Opcode::MovReg:
-      st[ins.rd] = st[ins.rn];
-      break;
-    case Opcode::Add:
-    case Opcode::Sub: {
-      const AV b = ins.has_imm ? AV{true, ins.imm} : st[ins.rm];
-      if (st[ins.rn].known && b.known) {
-        st[ins.rd] = AV{true, ins.op == Opcode::Add ? st[ins.rn].v + b.v
-                                                    : st[ins.rn].v - b.v};
-      } else {
-        st[ins.rd] = AV{};
-      }
-      break;
-    }
-    case Opcode::Fmadd:
-    case Opcode::Fmul:
-    case Opcode::Fadd:
-    case Opcode::Fsub:
-      st[ins.rd] = AV{};  // float results are not tracked
-      break;
-    case Opcode::Ldr:
-    case Opcode::Ldrd:
-      st[ins.rd] = AV{};
-      if (ins.op == Opcode::Ldrd && ins.rd + 1u < kRegs) st[ins.rd + 1u] = AV{};
-      if (ins.postmodify) bump(ins.rn, ins.imm);
-      break;
-    case Opcode::Str:
-    case Opcode::Strd:
-      if (ins.postmodify) bump(ins.rn, ins.imm);
-      break;
-    case Opcode::B:
-    case Opcode::Bne:
-    case Opcode::Beq:
-    case Opcode::Halt:
-      break;
-  }
-}
+std::string reg(unsigned r) { return dataflow::reg_name(r); }
 
 class Linter {
 public:
@@ -253,11 +107,22 @@ private:
         case Opcode::Ldrd:
         case Opcode::Str:
         case Opcode::Strd:
+        case Opcode::Testset:
           chk(ins.rd); chk(ins.rn);
+          break;
+        case Opcode::CoreId:
+          chk(ins.rd);
+          break;
+        case Opcode::Lsl:
+          chk(ins.rd); chk(ins.rn);
+          break;
+        case Opcode::Wait:
+          chk(ins.rn);
           break;
         case Opcode::B:
         case Opcode::Bne:
         case Opcode::Beq:
+        case Opcode::Bar:
         case Opcode::Halt:
           break;
       }
@@ -466,6 +331,14 @@ private:
             const std::int64_t addr = ins.postmodify ? base.v : base.v + ins.imm;
             check_access(i, addr, access_size(ins), isa::is_store(ins.op));
           }
+        } else if (ins.op == Opcode::Wait || ins.op == Opcode::Testset) {
+          const AV base = st[ins.rn];
+          if (base.known) {
+            const std::int64_t addr =
+                ins.op == Opcode::Testset ? base.v + ins.imm : base.v;
+            // TESTSET may write the lock word; WAIT only reads.
+            check_access(i, addr, 4, ins.op == Opcode::Testset);
+          }
         }
         xfer_const(ins, st);
       }
@@ -473,14 +346,17 @@ private:
     }
   }
 
-  static std::int64_t access_size(const Instruction& ins) {
-    return ins.op == Opcode::Ldrd || ins.op == Opcode::Strd ? 8 : 4;
-  }
-
   void check_access(std::size_t i, std::int64_t addr, std::int64_t size, bool store) {
     const std::int64_t extent = opts_.extent;
-    if (addr < 0) {
+    const auto cls = classify_addr(addr);
+    if (cls.kind == dataflow::AddrKind::Negative) {
       report("mem-extent", Severity::Error, i, "access at negative address " + hex(addr));
+      return;
+    }
+    if (cls.kind == dataflow::AddrKind::Global) {
+      // A flat global (coreid<<20) address: outside this core's local view.
+      // The single-core passes cannot judge it; the workgroup verifier
+      // (lint/workgroup.hpp) resolves it against the group's address map.
       return;
     }
     if (addr + size > extent) {
@@ -607,6 +483,13 @@ private:
           const std::int64_t d = cursors[bn].delta;
           const std::int64_t rel = cum[bn] + (ins.postmodify ? 0 : ins.imm);
           const std::int64_t a0 = pre[bn].v + rel;
+          if (classify_addr(a0).kind == dataflow::AddrKind::Global) {
+            // Remote strided walk: out of scope for the single-core extent
+            // check; the workgroup verifier bounds it against the target
+            // core's scratchpad instead.
+            for (unsigned r = 0; r < kRegs; ++r) cum[r] += step_of(prog_.code[i], r);
+            continue;
+          }
           const std::int64_t alast = a0 + (trips - 1) * d;
           const std::int64_t lo = std::min(a0, alast);
           const std::int64_t hi = std::max(a0, alast) + access_size(ins);

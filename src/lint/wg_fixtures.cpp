@@ -1,0 +1,165 @@
+#include "lint/wg_fixtures.hpp"
+
+namespace epi::lint::fixtures {
+
+// Global-window constants for the default E64G401 map anchored at (0,0):
+// core (0,0) = 0x80800000, core (0,1) = 0x80900000, core (4,0) = 0x90800000.
+
+WorkgroupSpec to_spec(const WgFixture& fx) {
+  WorkgroupSpec spec = assemble_workgroup(fx.rows, fx.cols, fx.programs);
+  spec.host_preloaded = fx.host_preloaded;
+  return spec;
+}
+
+WgFixture listing12(bool racy) {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 2;
+  fx.programs.emplace_back("producer",
+                           "; Listing-1 shape: push data into the neighbour,\n"
+                           "; then raise its flag.\n"
+                           "mov r0, #0x80904000   ; core (0,1) data word\n"
+                           "mov r1, #42\n"
+                           "str r1, [r0, #0]\n"
+                           "mov r2, #0x80905000   ; core (0,1) flag word\n"
+                           "mov r3, #1\n"
+                           "str r3, [r2, #0]\n"
+                           "halt\n");
+  if (racy) {
+    fx.programs.emplace_back("consumer",
+                             "; Listing-2 defect: read the deposited word\n"
+                             "; without waiting on the flag.\n"
+                             "mov r0, #0x4000\n"
+                             "ldr r1, [r0, #0]\n"
+                             "halt\n");
+  } else {
+    fx.programs.emplace_back("consumer",
+                             "; Idiomatic fix: spin on the flag first.\n"
+                             "mov r2, #0x5000\n"
+                             "wait r2, #1\n"
+                             "mov r0, #0x4000\n"
+                             "ldr r1, [r0, #0]\n"
+                             "halt\n");
+  }
+  return fx;
+}
+
+WgFixture barrier_mismatch() {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 2;
+  fx.programs.emplace_back("two-bars",
+                           "bar\n"
+                           "bar   ; nobody joins the second rendezvous\n"
+                           "halt\n");
+  fx.programs.emplace_back("one-bar",
+                           "bar\n"
+                           "halt\n");
+  return fx;
+}
+
+WgFixture circular_wait() {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 2;
+  fx.programs.emplace_back("left",
+                           "mov r0, #0x6000\n"
+                           "wait r0, #1          ; blocks until the peer releases\n"
+                           "mov r1, #0x80906000  ; ...but the release is below\n"
+                           "mov r2, #1\n"
+                           "str r2, [r1, #0]\n"
+                           "halt\n");
+  fx.programs.emplace_back("right",
+                           "mov r0, #0x6000\n"
+                           "wait r0, #1\n"
+                           "mov r1, #0x80806000\n"
+                           "mov r2, #1\n"
+                           "str r2, [r1, #0]\n"
+                           "halt\n");
+  return fx;
+}
+
+WgFixture stray_remote_write() {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 2;
+  fx.programs.emplace_back("stray",
+                           "mov r0, #0x90800000  ; core (4,0): mapped, not ours\n"
+                           "mov r1, #7\n"
+                           "str r1, [r0, #0]\n"
+                           "halt\n");
+  fx.programs.emplace_back("idle", "halt\n");
+  return fx;
+}
+
+WgFixture bad_dma() {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 1;
+  // Destination: 8192 words of 4 bytes from 0x7000 -> walks to 0xF000,
+  // 28 KB past the scratchpad end.
+  fx.programs.emplace_back("overflow-dma",
+                           ".dma 0x0000 0x7000 4 8192 4 4 1 0 0\n"
+                           "halt\n");
+  return fx;
+}
+
+WgFixture wait_without_writer() {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 2;
+  fx.programs.emplace_back("orphan-wait",
+                           "mov r0, #0x6000\n"
+                           "wait r0, #1   ; nobody ever stores 1 here\n"
+                           "halt\n");
+  fx.programs.emplace_back("idle", "halt\n");
+  return fx;
+}
+
+WgFixture barrier_exchange() {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 2;
+  fx.programs.emplace_back("left",
+                           "mov r0, #0x80904000  ; deposit into the peer\n"
+                           "mov r1, #100\n"
+                           "str r1, [r0, #0]\n"
+                           "bar\n"
+                           "mov r2, #0x4000      ; read what the peer deposited\n"
+                           "ldr r3, [r2, #0]\n"
+                           "halt\n");
+  fx.programs.emplace_back("right",
+                           "mov r0, #0x80804000\n"
+                           "mov r1, #101\n"
+                           "str r1, [r0, #0]\n"
+                           "bar\n"
+                           "mov r2, #0x4000\n"
+                           "ldr r3, [r2, #0]\n"
+                           "halt\n");
+  return fx;
+}
+
+WgFixture mutex_counter() {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 2;
+  // SPMD: one program on both cores; the lock and counter live in core
+  // (0,0)'s scratchpad and are addressed globally so both cores agree.
+  fx.programs.emplace_back("mutex-counter",
+                           "mov r0, #0x80805000     ; mutex word, core (0,0)\n"
+                           "lock:\n"
+                           "testset r1, [r0, #0]\n"
+                           "bne lock                ; Z set means acquired\n"
+                           "mov r2, #0x80804000     ; guarded counter\n"
+                           "ldr r3, [r2, #0]\n"
+                           "add r3, r3, #1\n"
+                           "str r3, [r2, #0]\n"
+                           "mov r4, #0\n"
+                           "str r4, [r0, #0]        ; release\n"
+                           "halt\n");
+  // The host zeroes the counter (and the mutex word) before launch.
+  fx.host_preloaded.emplace_back(0x80804000u, 0x80804008u);
+  return fx;
+}
+
+}  // namespace epi::lint::fixtures

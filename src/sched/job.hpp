@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
 
@@ -23,13 +25,16 @@ namespace epi::sched {
 /// stresses a different machine resource, so a mixed stream genuinely
 /// contends: Matmul rotates blocks over the mesh, Stencil exchanges halos
 /// by chained DMA, Offload streams results to shared DRAM over the eLink.
-enum class JobKind : std::uint8_t { Matmul, Stencil, Offload };
+/// Custom carries tenant-supplied eCore assembly (JobSpec::programs) -- the
+/// kind the admission-time lint gate verifies statically before placement.
+enum class JobKind : std::uint8_t { Matmul, Stencil, Offload, Custom };
 
 [[nodiscard]] constexpr const char* to_string(JobKind k) noexcept {
   switch (k) {
     case JobKind::Matmul: return "matmul";
     case JobKind::Stencil: return "stencil";
     case JobKind::Offload: return "offload";
+    case JobKind::Custom: return "custom";
   }
   return "?";
 }
@@ -38,6 +43,7 @@ enum class JobKind : std::uint8_t { Matmul, Stencil, Offload };
   if (s == "matmul") out = JobKind::Matmul;
   else if (s == "stencil") out = JobKind::Stencil;
   else if (s == "offload") out = JobKind::Offload;
+  else if (s == "custom") out = JobKind::Custom;
   else return false;
   return true;
 }
@@ -56,6 +62,12 @@ struct JobSpec {
   unsigned block = 16;         // matmul block edge / stencil tile edge /
                                // offload elements-per-core = block*block
   unsigned launch_failures = 0;  // injected failures before a launch sticks
+  /// Custom jobs only: (name, assembly source) per core -- one program
+  /// replicates SPMD-style across the group, otherwise exactly rows*cols in
+  /// row-major order. Verified by the admission-time lint gate (addresses
+  /// are interpreted as if the group were anchored at mesh (0,0); use
+  /// COREID-composed addressing for placement-independent programs).
+  std::vector<std::pair<std::string, std::string>> programs;
 };
 
 /// Terminal state of a job. Pending means still queued or running.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
+#include "isa/assembler.hpp"
+#include "isa/interpreter.hpp"
 #include "util/fmt.hpp"
 
 #include "core/matmul.hpp"
@@ -101,6 +105,8 @@ double job_flops(const JobSpec& spec) {
              core::StencilSchedule::iteration_flops(spec.block, spec.block);
     case JobKind::Offload:
       return cores * 2.0 * spec.block * spec.block;
+    case JobKind::Custom:
+      return 0.0;  // flops come from the programs' own FPU ops, not a model
   }
   return 0.0;
 }
@@ -199,6 +205,42 @@ device::KernelFn prepare_job(host::System& sys, host::Workgroup& wg, const JobSp
       }
       return [elems, shm_base](device::CoreCtx& ctx) -> sim::Op<void> {
         return offload_job_kernel(ctx, elems, shm_base);
+      };
+    }
+    case JobKind::Custom: {
+      // Tenant-supplied assembly, already verified by the admission gate.
+      // Score each core's program with the ISA interpreter (solo-sync mode:
+      // cross-core waits/barriers cost their local cycles only) over a
+      // zeroed scratchpad image, then occupy the core for that long.
+      if (spec.programs.empty()) {
+        throw std::invalid_argument("custom job carries no programs");
+      }
+      const unsigned n = wg.info().rows * wg.info().cols;
+      auto cycles = std::make_shared<std::vector<Cycles>>(n, Cycles{1});
+      auto flops = std::make_shared<std::vector<double>>(n, 0.0);
+      const auto& map = sys.machine().mem().map();
+      for (unsigned r = 0; r < wg.info().rows; ++r) {
+        for (unsigned c = 0; c < wg.info().cols; ++c) {
+          const unsigned g = r * wg.info().cols + c;
+          const auto& src =
+              spec.programs.size() == 1 ? spec.programs[0] : spec.programs[g];
+          const isa::Program prog = isa::assemble(src.second);
+          isa::RegFile regs;
+          std::vector<std::byte> image(arch::AddressMap::kLocalMemBytes,
+                                       std::byte{0});
+          isa::InterpreterConfig icfg;
+          icfg.core_id = map.core_id(wg.ctx(r, c).coord());
+          icfg.solo_sync = true;
+          const isa::ExecStats st = isa::execute(prog, regs, image, icfg);
+          (*cycles)[g] = std::max<Cycles>(1, st.cycles);
+          (*flops)[g] = static_cast<double>(st.flops);
+        }
+      }
+      return [cycles, flops](device::CoreCtx& ctx) -> sim::Op<void> {
+        return [](device::CoreCtx& c, Cycles cyc, double fl) -> sim::Op<void> {
+          co_await c.compute(cyc);
+          if (fl > 0.0) c.count_flops(fl);
+        }(ctx, (*cycles)[ctx.group_index()], (*flops)[ctx.group_index()]);
       };
     }
   }

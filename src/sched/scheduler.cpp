@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lint/workgroup.hpp"
 #include "sched/kernels.hpp"
 #include "trace/tracer.hpp"
 #include "util/fmt.hpp"
@@ -52,6 +53,8 @@ void Scheduler::define_counters() {
   c_faults_ = counters_->define("sched.faults.detected", K::Monotonic);
   c_reexecs_ = counters_->define("sched.jobs.reexecuted", K::Monotonic);
   g_quarantined_ = counters_->define("sched.cores.quarantined", K::Gauge);
+  c_lint_rejects_ = counters_->define("sched.lint.rejects", K::Monotonic);
+  c_lint_warnings_ = counters_->define("sched.lint.warnings", K::Monotonic);
 }
 
 void Scheduler::bump(trace::Counters::Id id, double delta) {
@@ -143,6 +146,7 @@ bool Scheduler::admit_arrivals(sim::Cycles now) {
                           static_cast<unsigned long long>(now), spec.id));
       continue;
     }
+    if (!lint_gate(rec, now)) continue;
     if (pending_.size() >= cfg_.queue_capacity) {
       resolve(rec, Verdict::Rejected, now,
               util::format("admission queue full (%zu pending)", pending_.size()));
@@ -159,6 +163,52 @@ bool Scheduler::admit_arrivals(sim::Cycles now) {
                         pending_.size()));
   }
   return progress;
+}
+
+bool Scheduler::lint_gate(JobRecord& rec, sim::Cycles now) {
+  const JobSpec& spec = rec.spec;
+  if (spec.kind != JobKind::Custom) return true;
+  // A custom job with no programs, or programs that do not assemble, can
+  // never run -- reject regardless of the lint mode.
+  lint::WorkgroupSpec wspec;
+  try {
+    wspec = lint::assemble_workgroup(spec.rows, spec.cols, spec.programs);
+  } catch (const std::exception& e) {
+    resolve(rec, Verdict::Rejected, now, std::string("lint: ") + e.what());
+    log_event(util::format("@%llu reject job=%u reason=lint-assembly",
+                        static_cast<unsigned long long>(now), spec.id));
+    bump(c_lint_rejects_, 1.0);
+    return false;
+  }
+  if (cfg_.lint == LintMode::Off) return true;
+  const auto findings = lint::verify_workgroup(wspec);
+  std::size_t errors = 0;
+  for (const auto& f : findings) {
+    if (f.finding.severity >= lint::Severity::Error) ++errors;
+  }
+  if (errors > 0 && cfg_.lint == LintMode::Strict) {
+    std::string first;
+    for (const auto& f : findings) {
+      if (f.finding.severity >= lint::Severity::Error) {
+        first = f.format();
+        break;
+      }
+    }
+    resolve(rec, Verdict::Rejected, now,
+            util::format("lint: %zu error(s), first: %s", errors, first.c_str()));
+    log_event(util::format("@%llu lint-reject job=%u errors=%zu findings=%zu",
+                        static_cast<unsigned long long>(now), spec.id, errors,
+                        findings.size()));
+    bump(c_lint_rejects_, 1.0);
+    return false;
+  }
+  if (!findings.empty()) {
+    log_event(util::format("@%llu lint-warn job=%u errors=%zu findings=%zu first=%s",
+                        static_cast<unsigned long long>(now), spec.id, errors,
+                        findings.size(), findings.front().format().c_str()));
+    bump(c_lint_warnings_, static_cast<double>(findings.size()));
+  }
+  return true;
 }
 
 bool Scheduler::reap_completed(sim::Cycles now) {

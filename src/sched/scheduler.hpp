@@ -46,6 +46,23 @@
 
 namespace epi::sched {
 
+/// Admission-time static verification of Custom jobs' programs (the
+/// whole-workgroup race/deadlock verifier, lint/workgroup.hpp):
+///   Off    -- no verification (programs that fail to assemble still reject);
+///   Warn   -- verify and log findings, admit anyway;
+///   Strict -- reject jobs whose group has any error-severity finding, with
+///             a structured verdict in JobRecord::detail, before placement.
+enum class LintMode : std::uint8_t { Off, Warn, Strict };
+
+[[nodiscard]] constexpr const char* to_string(LintMode m) noexcept {
+  switch (m) {
+    case LintMode::Off: return "off";
+    case LintMode::Warn: return "warn";
+    case LintMode::Strict: return "strict";
+  }
+  return "?";
+}
+
 struct SchedConfig {
   std::size_t queue_capacity = 64;     // pending jobs; beyond this, reject
   sim::Cycles aging_quantum = 100'000; // +1 effective priority per quantum waited
@@ -60,6 +77,8 @@ struct SchedConfig {
                                        // group then raises DeadlockError, the
                                        // pre-fault-tolerance behaviour)
   unsigned max_reexecutions = 2;       // full re-runs after a detected fault
+  LintMode lint = LintMode::Off;       // admission-time verification of
+                                       // Custom jobs' programs
 };
 
 class Scheduler {
@@ -115,6 +134,10 @@ private:
   void log_event(const std::string& line);
   [[nodiscard]] double effective_priority(const Pending& p, sim::Cycles now) const;
   bool admit_arrivals(sim::Cycles now);
+  /// Admission-time static verification of a Custom job. Returns true when
+  /// the job may be admitted; on false the record is already resolved
+  /// (Rejected) and the decision logged.
+  bool lint_gate(JobRecord& rec, sim::Cycles now);
   bool reap_completed(sim::Cycles now);
   bool drop_timed_out(sim::Cycles now);
   void try_place(sim::Cycles now);
@@ -160,7 +183,7 @@ private:
   trace::Counters::Id c_submitted_, c_admitted_, c_rejected_, c_completed_,
       c_timedout_, c_failed_, c_launch_failures_, c_retries_, c_busy_cycles_,
       g_queue_depth_, g_running_, g_cores_busy_, c_faults_, c_reexecs_,
-      g_quarantined_;
+      g_quarantined_, c_lint_rejects_, c_lint_warnings_;
 };
 
 }  // namespace epi::sched

@@ -72,6 +72,7 @@ std::vector<JobSpec> generate(const TrafficConfig& cfg) {
       case JobKind::Matmul: s.block = 8u << rng.next_below(3); break;   // 8/16/32
       case JobKind::Stencil: s.block = 8 + 4 * static_cast<unsigned>(rng.next_below(4)); break;
       case JobKind::Offload: s.block = 16u << rng.next_below(2); break; // 16/32
+      case JobKind::Custom: break;  // never drawn: kind_weights has 3 entries
     }
     if (rng.next_float() < cfg.fail_prob) {
       s.launch_failures = 1 + static_cast<unsigned>(rng.next_below(2));
@@ -125,6 +126,12 @@ std::vector<JobSpec> load(std::istream& in, const std::string& source) {
         else if (key == "tenant") s.tenant = val;
         else if (key == "kind") {
           if (!parse_kind(val, s.kind)) throw fail("unknown kind '" + val + "'");
+          if (s.kind == JobKind::Custom) {
+            throw fail(
+                "custom jobs carry inline programs and cannot be expressed in "
+                "a workload file; submit them via Scheduler::submit or "
+                "epi_serve --asm");
+          }
         }
         else if (key == "rows") s.rows = static_cast<unsigned>(std::stoul(val));
         else if (key == "cols") s.cols = static_cast<unsigned>(std::stoul(val));

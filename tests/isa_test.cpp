@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "isa/assembler.hpp"
@@ -304,6 +305,128 @@ TEST(Timing, LoadFeedingFmaddReadyNextCycle) {
     halt
   )");
   EXPECT_EQ(r.st.cycles, 3u);  // fmadd pairs one cycle after the load
+}
+
+// ---- workgroup opcodes (COREID / LSL / WAIT / BAR / TESTSET) ----------------
+
+TEST(Sync, CoreIdAndLslComposeAGlobalAddress) {
+  InterpreterConfig cfg;
+  cfg.core_id = 0x808;  // mesh (0,0) on the E64G401
+  auto r = run(R"(
+    coreid r0
+    lsl r1, r0, #20
+    halt
+  )", 4096, cfg);
+  EXPECT_EQ(r.regs.raw(0), 0x808u);
+  EXPECT_EQ(r.regs.raw(1), 0x80800000u);
+}
+
+TEST(Sync, WaitProceedsWhenConditionAlreadyHolds) {
+  auto r = run(R"(
+    mov r0, #8
+    mov r1, #1
+    str r1, [r0, #0]
+    wait r0, #1
+    halt
+  )");
+  EXPECT_EQ(r.st.cycles, 4u);  // mov@0, mov@1, str@2, wait@3, halt@4
+}
+
+TEST(Sync, UnsatisfiedWaitThrowsWithoutSoloSync) {
+  EXPECT_THROW((void)run("mov r0, #8\nwait r0, #1\nhalt"), ExecutionError);
+  InterpreterConfig solo;
+  solo.solo_sync = true;
+  auto r = run("mov r0, #8\nwait r0, #1\nhalt", 4096, solo);
+  EXPECT_EQ(r.st.instructions, 2u);  // proceeds in solo mode
+}
+
+TEST(Sync, BarIsSoloOnlyUnderSoloSync) {
+  EXPECT_THROW((void)run("bar\nhalt"), ExecutionError);
+  InterpreterConfig solo;
+  solo.solo_sync = true;
+  EXPECT_NO_THROW((void)run("bar\nhalt", 4096, solo));
+}
+
+TEST(Sync, TestsetAcquiresOnceThenReturnsOld) {
+  auto r = run(R"(
+    mov r0, #16
+    testset r1, [r0, #0]
+    testset r2, [r0, #0]
+    halt
+  )");
+  EXPECT_EQ(r.regs.raw(1), 0u);  // acquired: old value was 0, Z set
+  EXPECT_EQ(r.regs.raw(2), 1u);  // second acquire sees the lock held
+  std::uint32_t word;
+  std::memcpy(&word, r.mem.data() + 16, 4);
+  EXPECT_EQ(word, 1u);
+}
+
+TEST(Sync, TestsetSpinLoopTerminatesViaZFlag) {
+  auto r = run(R"(
+    mov r0, #16
+  lock:
+    testset r1, [r0, #0]
+    bne lock
+    halt
+  )");
+  EXPECT_EQ(r.st.instructions, 3u);  // acquires first try: Z set, no spin
+}
+
+TEST(Sync, SoloSyncToleratesOutOfImageAccess) {
+  InterpreterConfig solo;
+  solo.solo_sync = true;
+  // A store past the 64-byte image is dropped; the load reads back 0.
+  auto r = run(R"(
+    mov r0, #0x4000
+    mov r1, #7
+    str r1, [r0, #0]
+    ldr r2, [r0, #0]
+    halt
+  )", 64, solo);
+  EXPECT_EQ(r.regs.raw(2), 0u);
+  // The same round trip inside the image still works normally.
+  auto in = run(R"(
+    mov r0, #16
+    mov r1, #7
+    str r1, [r0, #0]
+    ldr r2, [r0, #0]
+    halt
+  )", 64, solo);
+  EXPECT_EQ(in.regs.raw(2), 7u);
+}
+
+TEST(Assembler, DmaDirectiveParsesNinePositionalFields) {
+  const Program p = assemble(R"(
+    .dma 0x1000 0x80904000 4 16 4 4 2 64 64
+    halt
+  )");
+  ASSERT_EQ(p.dma.size(), 1u);
+  const DmaDecl& d = p.dma[0];
+  EXPECT_EQ(d.src, 0x1000u);
+  EXPECT_EQ(d.dst, 0x80904000u);
+  EXPECT_EQ(d.elem, 4u);
+  EXPECT_EQ(d.inner_count, 16u);
+  EXPECT_EQ(d.src_inner_stride, 4);
+  EXPECT_EQ(d.dst_inner_stride, 4);
+  EXPECT_EQ(d.outer_count, 2u);
+  EXPECT_EQ(d.src_outer_stride, 64);
+  EXPECT_EQ(d.dst_outer_stride, 64);
+  EXPECT_EQ(d.line, 2u);
+}
+
+TEST(Assembler, DmaDirectiveRejectsWrongArity) {
+  EXPECT_THROW((void)assemble(".dma 0 0 4 1\nhalt"), AssemblyError);
+  EXPECT_THROW((void)assemble(".dma 0 0 4 1 0 0 1 0 0 9\nhalt"), AssemblyError);
+  EXPECT_THROW((void)assemble(".dma 0 zz 4 1 0 0 1 0 0\nhalt"), AssemblyError);
+}
+
+TEST(Assembler, SyncOpcodeArityIsChecked) {
+  EXPECT_THROW((void)assemble("coreid\nhalt"), AssemblyError);
+  EXPECT_THROW((void)assemble("lsl r1, r0\nhalt"), AssemblyError);
+  EXPECT_THROW((void)assemble("lsl r1, r0, #32\nhalt"), AssemblyError);  // shift > 31
+  EXPECT_THROW((void)assemble("wait r0\nhalt"), AssemblyError);
+  EXPECT_THROW((void)assemble("bar r0\nhalt"), AssemblyError);
+  EXPECT_THROW((void)assemble("testset r1, [r0], #4\nhalt"), AssemblyError);  // postmod
 }
 
 }  // namespace

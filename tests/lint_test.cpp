@@ -355,6 +355,22 @@ TEST(Lint, FindingsCarrySourceLinesThroughCommentsAndLabels) {
   EXPECT_NE(fs[0].format("kernel.s").find("kernel.s:4: error:"), std::string::npos);
 }
 
+TEST(Lint, FormatFallsBackToInstructionIndexWithoutALine) {
+  // Hand-built Programs carry no source lines; the diagnostic must anchor
+  // to the instruction index instead of printing a misleading ":0:".
+  lint::Finding f;
+  f.pass = "mem-extent";
+  f.severity = lint::Severity::Error;
+  f.instr = 7;
+  f.line = 0;
+  f.message = "store past the declared extent";
+  EXPECT_EQ(f.format("prog"),
+            "prog:<instr#7>: error: store past the declared extent [mem-extent]");
+  f.instr = lint::Finding::kNoInstr;
+  EXPECT_EQ(f.format("prog"),
+            "prog: error: store past the declared extent [mem-extent]");
+}
+
 TEST(Lint, FindingsAreOrderedByInstruction) {
   const auto fs = lint_text(
       "mov r0, #1\n"   // dead store (instr 0)

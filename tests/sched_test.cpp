@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "host/system.hpp"
+#include "lint/wg_fixtures.hpp"
 #include "offload/queue.hpp"
 #include "sched/allocator.hpp"
 #include "sched/report.hpp"
@@ -322,6 +323,117 @@ TEST(Workload, LoadRejectsMalformedLines) {
   ASSERT_EQ(jobs.size(), 1u);
   EXPECT_EQ(jobs[0].id, 5u);
   EXPECT_EQ(jobs[0].kind, sched::JobKind::Stencil);
+}
+
+TEST(Workload, CustomJobsCannotComeFromSpecFiles) {
+  std::istringstream custom("job id=0 kind=custom rows=1 cols=2\n");
+  EXPECT_THROW((void)sched::load(custom), std::runtime_error);
+}
+
+// ---- admission-time lint gate (custom jobs) -------------------------------
+
+sched::JobSpec custom_job(std::uint32_t id, const lint::fixtures::WgFixture& fx,
+                          sim::Cycles arrival = 0) {
+  sched::JobSpec s;
+  s.id = id;
+  s.kind = sched::JobKind::Custom;
+  s.rows = fx.rows;
+  s.cols = fx.cols;
+  s.arrival = arrival;
+  s.programs = fx.programs;
+  return s;
+}
+
+TEST(LintGate, StrictRejectsStaticallyRacyJobBeforePlacement) {
+  host::System sys;
+  sched::SchedConfig cfg;
+  cfg.lint = sched::LintMode::Strict;
+  sched::Scheduler sc(sys, cfg);
+  sc.submit(custom_job(1, lint::fixtures::listing12(/*racy=*/true)));
+  sc.run();
+  const auto& rec = sc.records()[0];
+  EXPECT_EQ(rec.verdict, sched::Verdict::Rejected);
+  EXPECT_NE(rec.detail.find("lint:"), std::string::npos) << rec.detail;
+  EXPECT_NE(rec.detail.find("wg-race"), std::string::npos) << rec.detail;
+  EXPECT_EQ(rec.started, 0u);  // rejected at admission, never placed
+  EXPECT_DOUBLE_EQ(sc.counters().value("sched.lint.rejects"), 1.0);
+  // The decision log carries a structured lint-reject line.
+  bool logged = false;
+  for (const auto& line : sc.event_log()) {
+    logged |= line.find("lint-reject job=1") != std::string::npos;
+  }
+  EXPECT_TRUE(logged);
+}
+
+TEST(LintGate, StrictAdmitsAndCompletesTheCleanTwin) {
+  host::System sys;
+  sched::SchedConfig cfg;
+  cfg.lint = sched::LintMode::Strict;
+  sched::Scheduler sc(sys, cfg);
+  sc.submit(custom_job(1, lint::fixtures::listing12(/*racy=*/false)));
+  sc.submit(custom_job(2, lint::fixtures::barrier_exchange(), 10));
+  sc.run();
+  for (const auto& rec : sc.records()) {
+    EXPECT_EQ(rec.verdict, sched::Verdict::Completed) << rec.detail;
+  }
+  EXPECT_DOUBLE_EQ(sc.counters().value("sched.lint.rejects"), 0.0);
+}
+
+TEST(LintGate, WarnLogsButAdmits) {
+  host::System sys;
+  sched::SchedConfig cfg;
+  cfg.lint = sched::LintMode::Warn;
+  sched::Scheduler sc(sys, cfg);
+  sc.submit(custom_job(1, lint::fixtures::listing12(/*racy=*/true)));
+  sc.run();
+  const auto& rec = sc.records()[0];
+  EXPECT_EQ(rec.verdict, sched::Verdict::Completed) << rec.detail;
+  bool warned = false;
+  for (const auto& line : sc.event_log()) {
+    warned |= line.find("lint-warn job=1") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+  EXPECT_DOUBLE_EQ(sc.counters().value("sched.lint.warnings"), 1.0);
+}
+
+TEST(LintGate, OffStillRejectsProgramsThatDoNotAssemble) {
+  host::System sys;
+  sched::Scheduler sc(sys);  // default config: lint off
+  lint::fixtures::WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 1;
+  fx.programs.emplace_back("broken", "frobnicate r1, r2\nhalt\n");
+  sc.submit(custom_job(1, fx));
+  sc.run();
+  const auto& rec = sc.records()[0];
+  EXPECT_EQ(rec.verdict, sched::Verdict::Rejected);
+  EXPECT_NE(rec.detail.find("lint:"), std::string::npos) << rec.detail;
+}
+
+TEST(LintGate, OffAdmitsTheRacyJobUnchecked) {
+  host::System sys;
+  sched::Scheduler sc(sys);  // default config: lint off
+  sc.submit(custom_job(1, lint::fixtures::listing12(/*racy=*/true)));
+  sc.run();
+  // Off preserves pre-gate behaviour: the job runs (the serving model
+  // executes custom programs solo, so the latent race does not bite here).
+  EXPECT_EQ(sc.records()[0].verdict, sched::Verdict::Completed);
+}
+
+TEST(LintGate, RejectionIsDeterministic) {
+  const auto once = [] {
+    host::System sys;
+    sched::SchedConfig cfg;
+    cfg.lint = sched::LintMode::Strict;
+    sched::Scheduler sc(sys, cfg);
+    sc.submit(custom_job(1, lint::fixtures::listing12(/*racy=*/true)));
+    sc.submit(custom_job(2, lint::fixtures::listing12(/*racy=*/false), 5));
+    sc.run();
+    std::string all = sc.records()[0].detail + "|" + sc.records()[1].detail;
+    for (const auto& line : sc.event_log()) all += "\n" + line;
+    return all;
+  };
+  EXPECT_EQ(once(), once());
 }
 
 }  // namespace

@@ -1,10 +1,15 @@
-// epi_lint: command-line front end for the epi::lint static analyzer.
+// epi_lint: command-line front end for the epi::lint static analyzers.
 //
 // Lints eCore assembly (.s files in the subset syntax of isa/assembler.hpp)
 // and/or the built-in reconstructions of the paper's kernels, printing
-// compiler-style "file:line: severity: message [pass]" diagnostics.
+// compiler-style "file:line: severity: message [pass]" diagnostics. With
+// --workgroup=RxC the inputs are verified *as a group*: remote store/load
+// targets are resolved through the flat address map, and the cross-core
+// race/deadlock passes (wg-race, wg-flag-deadlock, wg-barrier-mismatch,
+// ...) run on the whole workgroup, statically.
 //
-// Exit status: 0 clean, 1 findings reported, 2 usage or assembly error.
+// Exit status: 0 clean or warnings only, 1 errors (or any finding under
+// --Werror), 2 usage or assembly error.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +22,7 @@
 #include "isa/assembler.hpp"
 #include "isa/kernels.hpp"
 #include "lint/lint.hpp"
+#include "lint/workgroup.hpp"
 
 namespace {
 
@@ -28,11 +34,24 @@ void usage(std::ostream& os) {
         "\n"
         "options:\n"
         "  --kernels         lint the built-in stencil and matmul kernels\n"
+        "  --workgroup RxC   verify the inputs as an RxC workgroup: one\n"
+        "                    program replicates SPMD-style, else give\n"
+        "                    exactly R*C programs in row-major order; with\n"
+        "                    no inputs, each built-in kernel is verified\n"
+        "                    replicated across the group\n"
+        "  --origin R,C      mesh anchor of the workgroup's (0,0) core\n"
+        "                    (default 0,0; the mesh is 8x8)\n"
         "  --extent N        declared scratchpad data extent in bytes\n"
         "                    (default 32768; accepts 0x-prefixed hex)\n"
         "  --code OFF:SIZE   declare the program's code region, enabling\n"
         "                    store-into-code checks (both 0x-hex or decimal)\n"
-        "  -h, --help        this text\n";
+        "  --Werror          treat warnings as errors for the exit status\n"
+        "  -h, --help        this text\n"
+        "\n"
+        "exit status:\n"
+        "  0  no findings, or warnings only (without --Werror)\n"
+        "  1  errors reported, or any finding with --Werror\n"
+        "  2  usage error, unreadable input, or assembly error\n";
 }
 
 bool parse_u32(const std::string& s, std::uint32_t& out) {
@@ -47,6 +66,19 @@ bool parse_u32(const std::string& s, std::uint32_t& out) {
   }
 }
 
+/// "RxC" / "R,C" -> (R, C), both in 1..64.
+bool parse_shape(const std::string& s, char sep, unsigned& r, unsigned& c) {
+  const auto x = s.find(sep);
+  std::uint32_t a = 0, b = 0;
+  if (x == std::string::npos || !parse_u32(s.substr(0, x), a) ||
+      !parse_u32(s.substr(x + 1), b) || a == 0 || b == 0 || a > 64 || b > 64) {
+    return false;
+  }
+  r = a;
+  c = b;
+  return true;
+}
+
 /// AssemblyError::what() begins with its own "line N: "; drop it, since we
 /// print the location in file:line form already.
 std::string assembly_message(const epi::isa::AssemblyError& e) {
@@ -55,14 +87,32 @@ std::string assembly_message(const epi::isa::AssemblyError& e) {
   return what.rfind(prefix, 0) == 0 ? what.substr(prefix.size()) : what;
 }
 
-/// Lint one assembled program; print findings; return their count.
-std::size_t lint_one(const std::string& name, const epi::isa::Program& prog,
-                     const epi::lint::LintOptions& opts) {
-  const auto findings = epi::lint::lint_program(prog, opts);
-  for (const auto& f : findings) {
+struct Totals {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+/// Lint one assembled program; print findings; tally them.
+void lint_one(const std::string& name, const epi::isa::Program& prog,
+              const epi::lint::LintOptions& opts, Totals& totals) {
+  for (const auto& f : epi::lint::lint_program(prog, opts)) {
     std::cout << f.format(name) << "\n";
+    (f.severity >= epi::lint::Severity::Error ? totals.errors : totals.warnings)++;
   }
-  return findings.size();
+}
+
+/// Verify one named-source set as an RxC group; print findings; tally them.
+void verify_group(
+    unsigned rows, unsigned cols, epi::arch::CoreCoord origin,
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const epi::lint::LintOptions& per_core, Totals& totals) {
+  auto spec = epi::lint::assemble_workgroup(rows, cols, sources, origin);
+  spec.per_core = per_core;
+  for (const auto& f : epi::lint::verify_workgroup(spec)) {
+    std::cout << f.format() << "\n";
+    (f.finding.severity >= epi::lint::Severity::Error ? totals.errors
+                                                      : totals.warnings)++;
+  }
 }
 
 }  // namespace
@@ -70,24 +120,62 @@ std::size_t lint_one(const std::string& name, const epi::isa::Program& prog,
 int main(int argc, char** argv) {
   epi::lint::LintOptions opts;
   bool builtins = false;
+  bool werror = false;
+  bool workgroup = false;
+  unsigned wg_rows = 1, wg_cols = 1;
+  epi::arch::CoreCoord origin{0, 0};
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both "--opt value" and "--opt=value".
+    std::string inline_val;
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      inline_val = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    const auto value = [&]() -> std::string {
+      if (!inline_val.empty()) return inline_val;
+      return ++i < argc ? argv[i] : "";
+    };
     if (arg == "-h" || arg == "--help") {
       usage(std::cout);
       return 0;
     }
     if (arg == "--kernels") {
       builtins = true;
+    } else if (arg == "--Werror") {
+      werror = true;
+    } else if (arg == "--workgroup") {
+      if (!parse_shape(value(), 'x', wg_rows, wg_cols)) {
+        std::cerr << "epi_lint: --workgroup needs RxC (e.g. 2x2)\n";
+        return 2;
+      }
+      workgroup = true;
+    } else if (arg == "--origin") {
+      unsigned r = 0, c = 0;
+      const std::string v = value();
+      // origin may legitimately be 0, so parse by hand around parse_shape's
+      // zero rejection.
+      const auto comma = v.find(',');
+      std::uint32_t a = 0, b = 0;
+      if (comma == std::string::npos || !parse_u32(v.substr(0, comma), a) ||
+          !parse_u32(v.substr(comma + 1), b) || a > 63 || b > 63) {
+        std::cerr << "epi_lint: --origin needs R,C (e.g. 0,0)\n";
+        return 2;
+      }
+      r = a;
+      c = b;
+      origin = {r, c};
     } else if (arg == "--extent") {
-      if (++i >= argc || !parse_u32(argv[i], opts.extent)) {
+      if (!parse_u32(value(), opts.extent)) {
         std::cerr << "epi_lint: --extent needs a byte count\n";
         return 2;
       }
     } else if (arg == "--code") {
       std::uint32_t off = 0, size = 0;
-      const std::string spec = ++i < argc ? argv[i] : "";
+      const std::string spec = value();
       const auto colon = spec.find(':');
       if (colon == std::string::npos || !parse_u32(spec.substr(0, colon), off) ||
           !parse_u32(spec.substr(colon + 1), size)) {
@@ -105,32 +193,52 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) builtins = true;
+  if (workgroup && !files.empty() && files.size() != 1 &&
+      files.size() != std::size_t{wg_rows} * wg_cols) {
+    std::cerr << "epi_lint: --workgroup=" << wg_rows << "x" << wg_cols
+              << " needs 1 (replicated) or " << wg_rows * wg_cols
+              << " programs, got " << files.size() << "\n";
+    return 2;
+  }
 
-  std::size_t total = 0;
+  // The paper's kernels at representative sizes: a 4-row-pair stencil
+  // stripe (output after the 22-float x 10-row input block) and the full
+  // 32-row matmul macro, with its documented A/B/C bank placement.
+  epi::lint::LintOptions mm_opts = opts;
+  if (!mm_opts.layout) {
+    mm_opts.layout = epi::lint::ScratchpadLayout{};
+    mm_opts.layout->add("A", epi::lint::RegionKind::Data, 0x0000, 0x1000)
+        .add("B", epi::lint::RegionKind::Data, 0x1000, 0x1000)
+        .add("C", epi::lint::RegionKind::Data, 0x2000, 0x1000);
+  }
+
+  Totals totals;
   if (builtins) {
-    // The paper's kernels at representative sizes: a 4-row-pair stencil
-    // stripe (output after the 22-float x 10-row input block) and the full
-    // 32-row matmul macro, with its documented A/B/C bank placement.
     const std::string stencil =
         epi::isa::generate_stencil_stripe(4, epi::util::StencilWeights{}, 880);
     const std::string matmul = epi::isa::generate_matmul_rows(32);
-    epi::lint::LintOptions mm_opts = opts;
-    if (!mm_opts.layout) {
-      mm_opts.layout = epi::lint::ScratchpadLayout{};
-      mm_opts.layout->add("A", epi::lint::RegionKind::Data, 0x0000, 0x1000)
-          .add("B", epi::lint::RegionKind::Data, 0x1000, 0x1000)
-          .add("C", epi::lint::RegionKind::Data, 0x2000, 0x1000);
-    }
     try {
-      total += lint_one("<builtin:stencil>", epi::isa::assemble(stencil), opts);
-      total += lint_one("<builtin:matmul>", epi::isa::assemble(matmul), mm_opts);
+      if (workgroup) {
+        // Each built-in verified SPMD-replicated across the group.
+        verify_group(wg_rows, wg_cols, origin, {{"<builtin:stencil>", stencil}},
+                     opts, totals);
+        verify_group(wg_rows, wg_cols, origin, {{"<builtin:matmul>", matmul}},
+                     mm_opts, totals);
+      } else {
+        lint_one("<builtin:stencil>", epi::isa::assemble(stencil), opts, totals);
+        lint_one("<builtin:matmul>", epi::isa::assemble(matmul), mm_opts, totals);
+      }
     } catch (const epi::isa::AssemblyError& e) {
       std::cerr << "<builtin>:" << e.line << ": error: " << assembly_message(e)
                 << "\n";
       return 2;
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "epi_lint: " << e.what() << "\n";
+      return 2;
     }
   }
 
+  std::vector<std::pair<std::string, std::string>> sources;
   for (const auto& file : files) {
     std::ifstream in(file);
     if (!in) {
@@ -139,21 +247,39 @@ int main(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
+    sources.emplace_back(file, text.str());
+  }
+  // Assemble up front so a syntax error in any input is exit 2 either way.
+  std::vector<epi::isa::Program> programs;
+  for (const auto& [file, text] : sources) {
     try {
-      total += lint_one(file, epi::isa::assemble(text.str()), opts);
+      programs.push_back(epi::isa::assemble(text));
     } catch (const epi::isa::AssemblyError& e) {
       std::cout << file << ":" << e.line << ": error: " << assembly_message(e)
                 << "\n";
       return 2;
     }
   }
+  if (workgroup && !sources.empty()) {
+    try {
+      verify_group(wg_rows, wg_cols, origin, sources, opts, totals);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "epi_lint: " << e.what() << "\n";
+      return 2;
+    }
+  } else {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      lint_one(sources[i].first, programs[i], opts, totals);
+    }
+  }
 
-  if (total == 0) {
-    std::cout << "epi_lint: clean ("
-              << (builtins ? files.size() + 2 : files.size()) << " program"
-              << ((builtins ? files.size() + 2 : files.size()) == 1 ? "" : "s")
-              << ")\n";
+  const std::size_t programs_seen =
+      files.size() + (builtins ? 2 : 0);
+  if (totals.errors == 0 && totals.warnings == 0) {
+    std::cout << "epi_lint: clean (" << programs_seen << " program"
+              << (programs_seen == 1 ? "" : "s") << ")\n";
     return 0;
   }
-  return 1;
+  if (totals.errors > 0 || werror) return 1;
+  return 0;  // warnings only
 }

@@ -26,10 +26,24 @@
 //     --selftest         run the workload twice on fresh machines and fail
 //                        unless reports and decision logs are byte-identical
 //                        (also asserts >=3 workgroups were resident at once)
+//     --lint=MODE        admission-time static verification of custom jobs:
+//                        off (default), warn (log findings, admit anyway), or
+//                        strict (reject jobs with error-severity findings
+//                        before placement)
+//     --asm=F1[,F2...]   serve the given eCore .s files as one custom job
+//                        instead of a generated stream (1 file replicates
+//                        SPMD-style; else give rows*cols files in row-major
+//                        order)
+//     --asm-shape=RxC    workgroup shape for --asm              (default 1x1)
+//     --verify-selftest  admission-gate selftest: under --lint=strict the
+//                        statically-racy Listing-1/2 fixture must be rejected
+//                        with a wg-race verdict and its clean twin must
+//                        complete, deterministically across two runs
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +51,7 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "host/system.hpp"
+#include "lint/wg_fixtures.hpp"
 #include "sched/report.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workload.hpp"
@@ -62,6 +77,10 @@ struct Options {
   bool strict = false;
   bool print_log = false;
   bool selftest = false;
+  sched::LintMode lint = sched::LintMode::Off;
+  std::string asm_files;       // comma-separated .s paths for one custom job
+  unsigned asm_rows = 1, asm_cols = 1;
+  bool verify_selftest = false;
 };
 
 bool value_flag(std::string_view arg, std::string_view flag, std::string& out) {
@@ -80,6 +99,7 @@ struct RunOutput {
   unsigned peak_resident = 0;
   unsigned unresolved = 0;
   unsigned failed = 0;
+  std::vector<std::string> rejected;  // "job N: detail" per rejected job
 };
 
 RunOutput run_once(const std::vector<sched::JobSpec>& jobs, const Options& opt,
@@ -91,6 +111,7 @@ RunOutput run_once(const std::vector<sched::JobSpec>& jobs, const Options& opt,
   }
   sched::SchedConfig cfg;
   cfg.queue_capacity = opt.queue;
+  cfg.lint = opt.lint;
   // With a plan armed, silent stalls are expected: default the watchdog on
   // so they become FaultReports instead of an engine deadlock.
   cfg.watchdog_cycles =
@@ -107,6 +128,10 @@ RunOutput run_once(const std::vector<sched::JobSpec>& jobs, const Options& opt,
   for (const auto& rec : sc.records()) {
     if (rec.verdict == sched::Verdict::Pending) ++out.unresolved;
     if (rec.verdict == sched::Verdict::Failed) ++out.failed;
+    if (rec.verdict == sched::Verdict::Rejected) {
+      out.rejected.push_back("job " + std::to_string(rec.spec.id) + ": " +
+                             rec.detail);
+    }
   }
   if (trace && !opt.trace_path.empty()) {
     std::ofstream os(opt.trace_path, std::ios::binary | std::ios::trunc);
@@ -114,6 +139,101 @@ RunOutput run_once(const std::vector<sched::JobSpec>& jobs, const Options& opt,
     trace::write_chrome_trace(os, *sys.machine().tracer());
   }
   return out;
+}
+
+/// One custom job from comma-separated .s paths.
+sched::JobSpec custom_job(const std::string& files, unsigned rows, unsigned cols) {
+  sched::JobSpec s;
+  s.kind = sched::JobKind::Custom;
+  s.rows = rows;
+  s.cols = cols;
+  std::size_t start = 0;
+  while (start <= files.size()) {
+    const auto comma = files.find(',', start);
+    const std::string path =
+        files.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    if (!path.empty()) {
+      std::ifstream in(path);
+      if (!in) throw std::runtime_error("cannot open program: " + path);
+      std::ostringstream text;
+      text << in.rdbuf();
+      s.programs.emplace_back(path, text.str());
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (s.programs.empty()) throw std::runtime_error("--asm names no programs");
+  return s;
+}
+
+/// Admission-gate selftest: the statically-racy Listing-1/2 fixture must be
+/// rejected under strict lint with a wg-race verdict; its clean twin (the
+/// same protocol with the flag wait) must be admitted and complete; and two
+/// runs must be byte-identical. Returns the exit status.
+int verify_selftest() {
+  const auto job_of = [](const lint::fixtures::WgFixture& fx, std::uint32_t id) {
+    sched::JobSpec s;
+    s.id = id;
+    s.kind = sched::JobKind::Custom;
+    s.rows = fx.rows;
+    s.cols = fx.cols;
+    s.programs = fx.programs;
+    return s;
+  };
+  const auto run = [&]() {
+    host::System sys;
+    sched::SchedConfig cfg;
+    cfg.lint = sched::LintMode::Strict;
+    sched::Scheduler sc(sys, cfg);
+    sc.submit(job_of(lint::fixtures::listing12(/*racy=*/true), 1));
+    sc.submit(job_of(lint::fixtures::listing12(/*racy=*/false), 2));
+    sc.run();
+    return std::make_pair(sc.records(), sc.event_log());
+  };
+
+  const auto [records, log] = run();
+  bool ok = true;
+  const auto& racy = records[0];
+  const auto& clean = records[1];
+  if (racy.verdict != sched::Verdict::Rejected) {
+    std::fprintf(stderr,
+                 "verify-selftest: FAIL: racy job verdict is %s, want rejected\n",
+                 sched::to_string(racy.verdict));
+    ok = false;
+  } else if (racy.detail.find("wg-race") == std::string::npos) {
+    std::fprintf(stderr,
+                 "verify-selftest: FAIL: racy job's verdict names no wg-race "
+                 "finding: %s\n",
+                 racy.detail.c_str());
+    ok = false;
+  }
+  if (clean.verdict != sched::Verdict::Completed) {
+    std::fprintf(stderr,
+                 "verify-selftest: FAIL: clean job verdict is %s (%s), want "
+                 "completed\n",
+                 sched::to_string(clean.verdict), clean.detail.c_str());
+    ok = false;
+  }
+  const auto [records2, log2] = run();
+  if (log2 != log) {
+    std::fprintf(stderr, "verify-selftest: FAIL: decision logs differ between "
+                         "two identical runs\n");
+    ok = false;
+  }
+  for (std::size_t i = 0; ok && i < records.size(); ++i) {
+    if (records2[i].verdict != records[i].verdict ||
+        records2[i].detail != records[i].detail) {
+      std::fprintf(stderr, "verify-selftest: FAIL: verdicts differ between two "
+                           "identical runs\n");
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("verify-selftest: PASS (racy fixture rejected at admission: %s)\n",
+                racy.detail.c_str());
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -142,14 +262,58 @@ int main(int argc, char** argv) {
     if (value_flag(arg, "--queue", val)) { opt.queue = std::stoul(val); continue; }
     if (arg == "--log") { opt.print_log = true; continue; }
     if (arg == "--selftest") { opt.selftest = true; continue; }
+    if (arg == "--verify-selftest") { opt.verify_selftest = true; continue; }
+    if (value_flag(arg, "--lint", val)) {
+      if (val == "off") opt.lint = sched::LintMode::Off;
+      else if (val == "warn") opt.lint = sched::LintMode::Warn;
+      else if (val == "strict") opt.lint = sched::LintMode::Strict;
+      else {
+        std::fprintf(stderr, "epi_serve: --lint needs off|warn|strict\n");
+        return 2;
+      }
+      continue;
+    }
+    if (value_flag(arg, "--asm", opt.asm_files)) continue;
+    if (value_flag(arg, "--asm-shape", val)) {
+      const auto x = val.find('x');
+      try {
+        if (x == std::string::npos) throw std::invalid_argument(val);
+        opt.asm_rows = static_cast<unsigned>(std::stoul(val.substr(0, x)));
+        opt.asm_cols = static_cast<unsigned>(std::stoul(val.substr(x + 1)));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "epi_serve: --asm-shape needs RxC (e.g. 2x2)\n");
+        return 2;
+      }
+      if (opt.asm_rows == 0 || opt.asm_cols == 0 || opt.asm_rows > 8 ||
+          opt.asm_cols > 8) {
+        std::fprintf(stderr, "epi_serve: --asm-shape must fit the 8x8 mesh\n");
+        return 2;
+      }
+      continue;
+    }
     std::fprintf(stderr, "epi_serve: unknown argument '%s' (see the header of tools/epi_serve.cpp)\n",
                  std::string(arg).c_str());
     return 2;
   }
 
+  if (opt.verify_selftest) {
+    try {
+      return verify_selftest();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "epi_serve: verify-selftest error: %s\n", e.what());
+      return 1;
+    }
+  }
+
   try {
     std::vector<sched::JobSpec> jobs;
-    if (!opt.spec_path.empty()) {
+    if (!opt.asm_files.empty()) {
+      jobs.push_back(custom_job(opt.asm_files, opt.asm_rows, opt.asm_cols));
+      std::cout << "serving " << jobs[0].programs.size()
+                << " custom program(s) as a " << opt.asm_rows << "x"
+                << opt.asm_cols << " workgroup (lint=" << to_string(opt.lint)
+                << ")\n\n";
+    } else if (!opt.spec_path.empty()) {
       jobs = sched::load_file(opt.spec_path);
       std::cout << "replaying " << jobs.size() << " jobs from " << opt.spec_path
                 << "\n\n";
@@ -191,6 +355,12 @@ int main(int argc, char** argv) {
     if (first.unresolved != 0) {
       std::fprintf(stderr, "epi_serve: FAIL: %u jobs left without a verdict\n",
                    first.unresolved);
+      return 1;
+    }
+    if (!opt.asm_files.empty() && !first.rejected.empty()) {
+      for (const auto& line : first.rejected) {
+        std::fprintf(stderr, "epi_serve: rejected: %s\n", line.c_str());
+      }
       return 1;
     }
     if (opt.strict && first.failed != 0) {
