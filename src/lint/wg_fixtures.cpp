@@ -162,4 +162,39 @@ WgFixture mutex_counter() {
   return fx;
 }
 
+WgFixture shmem_put_signal(bool racy) {
+  WgFixture fx;
+  fx.rows = 1;
+  fx.cols = 2;
+  // put_with_signal: stream 16 words from my 0x4000 into the consumer's
+  // symmetric 0x4000, then raise the signal word at its 0x5000. The DMA is
+  // declared before the flag store, so the verifier orders payload before
+  // signal exactly as the chained-descriptor runtime does.
+  fx.programs.emplace_back("shmem-producer",
+                           ".dma 0x4000 0x80904000 4 16 4 4 1 0 0\n"
+                           "mov r0, #0x80905000   ; signal word on core (0,1)\n"
+                           "mov r1, #1\n"
+                           "str r1, [r0, #0]\n"
+                           "halt\n");
+  if (racy) {
+    fx.programs.emplace_back("shmem-consumer",
+                             "; get-before-signal: read the landing zone\n"
+                             "; without acquiring on the signal word.\n"
+                             "mov r0, #0x4000\n"
+                             "ldr r1, [r0, #0]\n"
+                             "halt\n");
+  } else {
+    fx.programs.emplace_back("shmem-consumer",
+                             "; wait_signal_ge, then read the payload.\n"
+                             "mov r0, #0x5000\n"
+                             "wait r0, #1\n"
+                             "mov r1, #0x4000\n"
+                             "ldr r2, [r1, #0]\n"
+                             "halt\n");
+  }
+  // The host fills the producer's source block before launch.
+  fx.host_preloaded.emplace_back(0x80804000u, 0x80804040u);
+  return fx;
+}
+
 }  // namespace epi::lint::fixtures

@@ -60,4 +60,11 @@ struct WgFixture {
 /// incremented by both cores of a 1x2 group (SPMD, one program).
 [[nodiscard]] WgFixture mutex_counter();
 
+/// The epi-shmem put_with_signal idiom at ISA level on a 1x2 group: the
+/// producer DMAs a payload block into the consumer's symmetric heap, then
+/// raises the signal word there with a plain store. With `racy`, the
+/// consumer reads the payload without waiting on the signal (the
+/// get-before-signal defect); otherwise it waits first and verifies clean.
+[[nodiscard]] WgFixture shmem_put_signal(bool racy);
+
 }  // namespace epi::lint::fixtures

@@ -334,6 +334,25 @@ private:
     const std::int64_t cid = spec_.map.core_id(coord_of(core));
     const ConstProp cp = propagate(prog, cfg, cid);
 
+    // A `.dma` declaration is modelled as a blocking transfer anchored at
+    // the first instruction at or below its source line: one Load event over
+    // the source span and one Store event over the destination span, in
+    // program order with the surrounding instructions. That makes DMA
+    // payloads first-class in the happens-before/race analysis -- the
+    // epi-shmem put_with_signal idiom (DMA the block, then raise the flag)
+    // verifies clean, and a consumer reading the block without waiting on
+    // the flag races with the DMA store like any other remote write.
+    std::vector<std::size_t> dma_anchor(prog.dma.size(), prog.size());
+    for (std::size_t di = 0; di < prog.dma.size(); ++di) {
+      for (std::size_t i = 0; i < prog.size(); ++i) {
+        if (prog.line_of(i) >= prog.dma[di].line) {
+          dma_anchor[di] = i;
+          break;
+        }
+      }
+    }
+    std::vector<bool> dma_emitted(prog.dma.size(), false);
+
     for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
       if (!cfg.reachable[bi]) continue;
       const BasicBlock& b = cfg.blocks[bi];
@@ -341,6 +360,12 @@ private:
       State st = cp.in[bi];
       std::array<std::int64_t, kRegs> cum{};
       for (std::size_t i = b.first; i < b.last; ++i) {
+        for (std::size_t di = 0; di < prog.dma.size(); ++di) {
+          if (!dma_emitted[di] && dma_anchor[di] == i) {
+            dma_emitted[di] = true;
+            emit_dma_transfer(core, prog.dma[di], i);
+          }
+        }
         const Instruction& ins = prog.code[i];
         const bool mem = isa::is_load(ins.op) || isa::is_store(ins.op);
         if (mem && st[ins.rn].known) {
@@ -718,6 +743,67 @@ private:
   }
 
   // ---- DMA descriptors -----------------------------------------------------
+
+  /// Strided-walk extrema of one side of a descriptor: [lo, hi) in the
+  /// side's own address space (local offsets or global addresses).
+  static std::pair<std::int64_t, std::int64_t> dma_span(const isa::DmaDecl& d,
+                                                        bool is_dst) {
+    const std::uint32_t base = is_dst ? d.dst : d.src;
+    const std::int64_t istride = is_dst ? d.dst_inner_stride : d.src_inner_stride;
+    const std::int64_t ostride = is_dst ? d.dst_outer_stride : d.src_outer_stride;
+    const std::int64_t row_step =
+        static_cast<std::int64_t>(d.inner_count) * istride + ostride;
+    std::int64_t lo = base, hi = base;
+    for (const std::int64_t o : {std::int64_t{0}, std::int64_t{d.outer_count} - 1}) {
+      for (const std::int64_t j : {std::int64_t{0}, std::int64_t{d.inner_count} - 1}) {
+        const std::int64_t a = base + o * row_step + j * istride;
+        lo = std::min(lo, a);
+        hi = std::max(hi, a);
+      }
+    }
+    return {lo, hi + d.elem};
+  }
+
+  /// Quiet resolution of one descriptor side to a global range for the
+  /// happens-before graph: invalid descriptors yield no event (check_dma
+  /// owns every wg-dma report; duplicating it here would double findings).
+  void emit_dma_side(std::size_t core, const isa::DmaDecl& d, bool is_dst,
+                     std::size_t instr) {
+    const std::uint32_t base = is_dst ? d.dst : d.src;
+    const auto [lo, hi] = dma_span(d, is_dst);
+    const auto& map = spec_.map;
+    std::uint32_t glo, ghi;
+    if (arch::AddressMap::is_local_alias(base)) {
+      if (lo < 0 || hi > arch::AddressMap::kLocalMemBytes) return;
+      glo = map.global(coord_of(core), static_cast<arch::Addr>(lo));
+      ghi = glo + static_cast<std::uint32_t>(hi - lo);
+    } else if (map.is_external(base)) {
+      if (lo < map.external_base ||
+          hi > static_cast<std::int64_t>(map.external_base) + map.external_bytes) {
+        return;
+      }
+      glo = static_cast<std::uint32_t>(lo);
+      ghi = static_cast<std::uint32_t>(hi);
+    } else {
+      const auto target = map.core_of(base);
+      if (!target || !in_group(*target)) return;
+      const std::int64_t win =
+          static_cast<std::int64_t>(base) &
+          ~((std::int64_t{1} << arch::AddressMap::kCoreWindowBits) - 1);
+      if (lo < win || hi - win > arch::AddressMap::kLocalMemBytes) return;
+      glo = static_cast<std::uint32_t>(lo);
+      ghi = static_cast<std::uint32_t>(hi);
+    }
+    emit(core, is_dst ? Event::Kind::Store : Event::Kind::Load, instr, glo, ghi,
+         /*value_known=*/false, 0);
+  }
+
+  void emit_dma_transfer(std::size_t core, const isa::DmaDecl& d, std::size_t instr) {
+    if (d.elem != 1 && d.elem != 2 && d.elem != 4 && d.elem != 8) return;
+    if (d.inner_count == 0 || d.outer_count == 0) return;
+    emit_dma_side(core, d, /*is_dst=*/false, instr);
+    emit_dma_side(core, d, /*is_dst=*/true, instr);
+  }
 
   void check_dma(std::size_t core) {
     if (spec_.cores.size() == 1 && core != 0) return;  // replicated: once

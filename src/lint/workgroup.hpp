@@ -48,7 +48,14 @@
 //     (lockset suppression); WAIT/TESTSET themselves are synchronisation
 //     accesses and never reported as racing reads;
 //   * store-store pairs are not reported (last-writer-wins is a payload
-//     property, not the Listing-1/2 defect class).
+//     property, not the Listing-1/2 defect class);
+//   * a `.dma` declaration is modelled as a blocking transfer anchored at
+//     the first instruction at or below its source line: a Load event over
+//     the source span and a Store event over the destination span join the
+//     happens-before graph in program order, so the epi-shmem
+//     put_with_signal idiom (DMA the payload, then raise the flag) verifies
+//     clean and a get-before-signal consumer trips wg-race. Invalid
+//     descriptors stay wg-dma findings and produce no events.
 
 #include <cstdint>
 #include <string>

@@ -27,7 +27,22 @@ namespace epi::sched {
 /// by chained DMA, Offload streams results to shared DRAM over the eLink.
 /// Custom carries tenant-supplied eCore assembly (JobSpec::programs) -- the
 /// kind the admission-time lint gate verifies statically before placement.
-enum class JobKind : std::uint8_t { Matmul, Stencil, Offload, Custom };
+/// CannonMatmul and Transpose are the comm-bound shmem kinds (epi-shmem
+/// PGAS runtime): put_with_signal block rotation and an all-to-all
+/// exchange, both host-validated numerically at reap.
+enum class JobKind : std::uint8_t {
+  Matmul,
+  Stencil,
+  Offload,
+  Custom,
+  CannonMatmul,
+  Transpose,
+};
+
+inline constexpr JobKind kAllJobKinds[] = {
+    JobKind::Matmul,  JobKind::Stencil,      JobKind::Offload,
+    JobKind::Custom,  JobKind::CannonMatmul, JobKind::Transpose,
+};
 
 [[nodiscard]] constexpr const char* to_string(JobKind k) noexcept {
   switch (k) {
@@ -35,6 +50,8 @@ enum class JobKind : std::uint8_t { Matmul, Stencil, Offload, Custom };
     case JobKind::Stencil: return "stencil";
     case JobKind::Offload: return "offload";
     case JobKind::Custom: return "custom";
+    case JobKind::CannonMatmul: return "cannon";
+    case JobKind::Transpose: return "transpose";
   }
   return "?";
 }
@@ -44,6 +61,8 @@ enum class JobKind : std::uint8_t { Matmul, Stencil, Offload, Custom };
   else if (s == "stencil") out = JobKind::Stencil;
   else if (s == "offload") out = JobKind::Offload;
   else if (s == "custom") out = JobKind::Custom;
+  else if (s == "cannon") out = JobKind::CannonMatmul;
+  else if (s == "transpose") out = JobKind::Transpose;
   else return false;
   return true;
 }

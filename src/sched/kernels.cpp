@@ -14,6 +14,7 @@
 #include "core/matmul_schedule.hpp"
 #include "core/stencil.hpp"
 #include "core/stencil_detail.hpp"
+#include "shmem/workloads.hpp"
 
 namespace epi::sched {
 
@@ -86,6 +87,28 @@ void reset_runtime_words(host::System& sys, host::Workgroup& wg) {
   }
 }
 
+// ---- shmem job parameters --------------------------------------------------
+// The symmetric-heap layout of a shmem job is a pure function of the spec
+// (and the granted shape), so launch and reap re-derive identical plans from
+// these clamps instead of carrying state across the job's lifetime.
+
+/// Largest Cannon block edge whose five block buffers + two signal words fit
+/// the default symmetric heap.
+unsigned cannon_block(const JobSpec& spec) {
+  return std::clamp(spec.block, 1u, 32u);
+}
+
+/// Transpose words per PE pair: requested block^2, clamped so both n-slot
+/// buffers plus the signal array fit the default symmetric heap.
+unsigned transpose_elems(const JobSpec& spec, unsigned n_pes) {
+  const std::uint32_t capacity =
+      shmem::kDefaultHeapEnd - shmem::kDefaultHeapBase - 64;  // alignment slack
+  const std::uint32_t per_elem = 8 * std::max(1u, n_pes);  // send + recv word
+  const std::uint32_t max_elems = (capacity - 4 * n_pes) / per_elem;
+  const unsigned want = std::max(1u, spec.block) * std::max(1u, spec.block);
+  return std::clamp(want, 1u, max_elems);
+}
+
 }  // namespace
 
 std::size_t job_shm_bytes(const JobSpec& spec) {
@@ -107,6 +130,16 @@ double job_flops(const JobSpec& spec) {
       return cores * 2.0 * spec.block * spec.block;
     case JobKind::Custom:
       return 0.0;  // flops come from the programs' own FPU ops, not a model
+    case JobKind::CannonMatmul: {
+      // p^2 active PEs each multiply one block per step, p steps per rotation
+      // (min is invariant under the allocator's shape rotation).
+      const double p = std::min(spec.rows, spec.cols);
+      const unsigned b = cannon_block(spec);
+      return p * p * p * std::max(1u, spec.iters) *
+             core::MatmulSchedule::block_flops(b, b, b);
+    }
+    case JobKind::Transpose:
+      return 0.0;  // pure communication
   }
   return 0.0;
 }
@@ -166,6 +199,26 @@ std::string verify_offload_output(host::System& sys, host::Workgroup& wg,
     }
   }
   return {};
+}
+
+std::string verify_shmem_output(host::System& sys, host::Workgroup& wg,
+                                const JobSpec& spec) {
+  // Re-derive the plan the launcher built: the symmetric bump allocator is
+  // deterministic, so identical clamps yield identical offsets.
+  shmem::SymmetricHeap heap(shmem::kDefaultHeapBase, shmem::kDefaultHeapEnd);
+  switch (spec.kind) {
+    case JobKind::CannonMatmul: {
+      const auto plan =
+          shmem::plan_cannon(heap, wg.info(), cannon_block(spec), spec.iters);
+      return shmem::verify_cannon_output(sys.machine(), wg.info(), plan, spec.id);
+    }
+    case JobKind::Transpose: {
+      const auto plan = shmem::plan_transpose(
+          heap, wg.info(), transpose_elems(spec, wg.info().size()), spec.iters);
+      return shmem::verify_transpose_output(sys.machine(), wg.info(), plan, spec.id);
+    }
+    default: return {};
+  }
 }
 
 device::KernelFn prepare_job(host::System& sys, host::Workgroup& wg, const JobSpec& spec,
@@ -241,6 +294,29 @@ device::KernelFn prepare_job(host::System& sys, host::Workgroup& wg, const JobSp
           co_await c.compute(cyc);
           if (fl > 0.0) c.count_flops(fl);
         }(ctx, (*cycles)[ctx.group_index()], (*flops)[ctx.group_index()]);
+      };
+    }
+    case JobKind::CannonMatmul: {
+      // The Group constructor scrubs the shmem runtime words (reused cores
+      // must not see a stale flag generation); the kernel closure keeps it
+      // alive by shared_ptr because the Workgroup itself is moved after
+      // load(). Inputs are seeded by job id so reap can re-derive them.
+      auto group = std::make_shared<shmem::Group>(sys.machine(), wg.info());
+      const auto plan =
+          shmem::plan_cannon(group->heap(), wg.info(), cannon_block(spec), spec.iters);
+      shmem::fill_cannon_inputs(sys.machine(), wg.info(), plan, spec.id);
+      return [group, plan](device::CoreCtx& ctx) -> sim::Op<void> {
+        return shmem::cannon_kernel(ctx, group, plan);
+      };
+    }
+    case JobKind::Transpose: {
+      auto group = std::make_shared<shmem::Group>(sys.machine(), wg.info());
+      const auto plan = shmem::plan_transpose(
+          group->heap(), wg.info(), transpose_elems(spec, wg.info().size()),
+          spec.iters);
+      shmem::fill_transpose_inputs(sys.machine(), wg.info(), plan, spec.id);
+      return [group, plan](device::CoreCtx& ctx) -> sim::Op<void> {
+        return shmem::transpose_kernel(ctx, group, plan);
       };
     }
   }

@@ -64,4 +64,15 @@ void fill_offload_input(host::System& sys, host::Workgroup& wg, const JobSpec& s
                                                 const JobSpec& spec,
                                                 arch::Addr shm_base);
 
+// ---- shmem job validation (CannonMatmul / Transpose) -----------------------
+// The comm-bound kinds carry seeded inputs (seed = spec.id) and a host
+// reference, so the scheduler validates every completed shmem job at reap --
+// not only under an armed fault plan. The symmetric-heap layout is re-derived
+// deterministically from the spec, so no per-job state needs to survive the
+// launch.
+
+/// Empty on success; otherwise a description of the first mismatch.
+[[nodiscard]] std::string verify_shmem_output(host::System& sys, host::Workgroup& wg,
+                                              const JobSpec& spec);
+
 }  // namespace epi::sched

@@ -251,6 +251,12 @@ bool Scheduler::reap_completed(sim::Cycles now) {
       if (inj != nullptr && inj->armed() && rec.spec.kind == JobKind::Offload) {
         corrupt = verify_offload_output(*sys_, *run.wg, rec.spec, run.shm_base);
       }
+      // shmem jobs carry a host reference derived from the spec alone, so
+      // they are validated unconditionally (not only under armed faults).
+      if (rec.spec.kind == JobKind::CannonMatmul ||
+          rec.spec.kind == JobKind::Transpose) {
+        corrupt = verify_shmem_output(*sys_, *run.wg, rec.spec);
+      }
     }
     run.wg.reset();  // release the core reservation before freeing the rect
     alloc_.free(run.placement);

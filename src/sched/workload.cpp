@@ -42,8 +42,13 @@ std::vector<JobSpec> generate(const TrafficConfig& cfg) {
     throw std::invalid_argument("TrafficConfig::tenants must not be empty");
   }
   sim::Rng rng(cfg.seed);
-  const unsigned kind_weights[3] = {cfg.matmul_weight, cfg.stencil_weight,
-                                    cfg.offload_weight};
+  // Drawable kinds (Custom is submit-only: it carries inline programs).
+  constexpr JobKind kKinds[] = {JobKind::Matmul, JobKind::Stencil,
+                                JobKind::Offload, JobKind::CannonMatmul,
+                                JobKind::Transpose};
+  const unsigned kind_weights[std::size(kKinds)] = {
+      cfg.matmul_weight, cfg.stencil_weight, cfg.offload_weight,
+      cfg.cannon_weight, cfg.transpose_weight};
   unsigned shape_weights[std::size(kShapes)];
   for (unsigned i = 0; i < std::size(kShapes); ++i) shape_weights[i] = kShapes[i].weight;
 
@@ -54,11 +59,16 @@ std::vector<JobSpec> generate(const TrafficConfig& cfg) {
     JobSpec s;
     s.id = i;
     s.tenant = cfg.tenants[rng.next_below(cfg.tenants.size())];
-    s.kind = static_cast<JobKind>(weighted_draw(rng, kind_weights, 3));
+    s.kind = kKinds[weighted_draw(rng, kind_weights, std::size(kKinds))];
     const ShapeChoice& shape =
         kShapes[weighted_draw(rng, shape_weights, std::size(kShapes))];
     s.rows = shape.rows;
     s.cols = shape.cols;
+    if (s.kind == JobKind::CannonMatmul) {
+      // Cannon's active torus is the min(rows, cols) square; request a square
+      // group so every granted core participates in the rotation.
+      s.rows = s.cols = std::min(shape.rows, shape.cols);
+    }
     s.priority = static_cast<unsigned>(rng.next_below(4));
     // Geometric-flavoured gap around the mean: uniform in [mean/2, 3*mean/2)
     // keeps bursts and lulls without heavy tails that would make short
@@ -72,7 +82,10 @@ std::vector<JobSpec> generate(const TrafficConfig& cfg) {
       case JobKind::Matmul: s.block = 8u << rng.next_below(3); break;   // 8/16/32
       case JobKind::Stencil: s.block = 8 + 4 * static_cast<unsigned>(rng.next_below(4)); break;
       case JobKind::Offload: s.block = 16u << rng.next_below(2); break; // 16/32
-      case JobKind::Custom: break;  // never drawn: kind_weights has 3 entries
+      case JobKind::CannonMatmul: s.block = 8u << rng.next_below(2); break; // 8/16
+      // block^2 words per PE pair (clamped to the symmetric heap at launch)
+      case JobKind::Transpose: s.block = 4u << rng.next_below(2); break;  // 4/8
+      case JobKind::Custom: break;  // never drawn: kKinds excludes it
     }
     if (rng.next_float() < cfg.fail_prob) {
       s.launch_failures = 1 + static_cast<unsigned>(rng.next_below(2));

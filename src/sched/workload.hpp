@@ -35,6 +35,11 @@ struct TrafficConfig {
   unsigned matmul_weight = 1;
   unsigned stencil_weight = 1;
   unsigned offload_weight = 2;
+  // The comm-bound shmem kinds (put_with_signal rotation / all-to-all), in
+  // the default mix so serving traffic contends for mesh links and DMA
+  // channels as well as FPUs and the eLink.
+  unsigned cannon_weight = 1;
+  unsigned transpose_weight = 1;
   double fail_prob = 0.10;       // chance a job gets 1-2 injected launch failures
   double deadline_prob = 0.25;   // chance a job carries a completion deadline
   sim::Cycles timeout = 3'000'000;  // queue timeout applied to every job; 0=none

@@ -1,0 +1,98 @@
+#pragma once
+// The two workloads the OpenSHMEM-on-Epiphany papers use to validate the
+// programming model (Ross & Richie):
+//
+//   * Cannon's blocked matmul -- each PE of a p x p grid holds one block of
+//     A, B and C; every step multiplies the resident blocks and rotates A
+//     westward / B northward around the torus with put_with_signal.
+//   * all-to-all transpose -- the communication core of a distributed FFT:
+//     PE i sends its j-th block into slot i of PE j's receive buffer, every
+//     pair signalled individually, with a staggered (i+k) mod n schedule so
+//     the mesh sees a rotating permutation instead of a hotspot.
+//
+// Both kernels are functional (real data moves through the scratchpads, the
+// host validates numerically) and both are registered as serving-job kinds
+// (sched::JobKind::CannonMatmul / Transpose) so epi-serve traffic can mix
+// comm-bound jobs with the compute-bound kinds.
+//
+// Inputs are seeded small integers (exact in float), so host reference
+// results compare bit-exactly despite reordered accumulation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "shmem/shmem.hpp"
+
+namespace epi::shmem {
+
+// ---- Cannon's blocked matmul ---------------------------------------------
+
+struct CannonPlan {
+  unsigned p = 1;       // active sub-square edge (min(rows, cols) of the group)
+  unsigned block = 16;  // block edge; each PE holds block x block floats
+  unsigned iters = 1;   // full rotations; C accumulates iters * (A x B)
+  arch::Addr a = 0, b = 0, c = 0;              // resident blocks
+  arch::Addr stage_a = 0, stage_b = 0;         // incoming blocks
+  arch::Addr sig_a = 0, sig_b = 0;             // arrival signal words
+};
+
+/// Carve the symmetric allocations for a Cannon run out of `heap`. PEs
+/// outside the p x p active square only participate in the barriers.
+[[nodiscard]] CannonPlan plan_cannon(SymmetricHeap& heap, const device::GroupInfo& info,
+                                     unsigned block, unsigned iters);
+
+/// Deterministic small-integer input (exact in float): element (r, c) of the
+/// global A (which == 0) or B (== 1) operand for a given seed.
+[[nodiscard]] float cannon_input(std::uint32_t seed, unsigned which, unsigned r,
+                                 unsigned c) noexcept;
+
+/// Host-side fill: place the pre-skewed A/B blocks (PE (i,j) starts with
+/// A(i, (i+j) mod p) and B((i+j) mod p, j)) and zero C. Writes are issued as
+/// each core's own, so they count as initialisation to the sanitizer.
+void fill_cannon_inputs(machine::Machine& m, const device::GroupInfo& info,
+                        const CannonPlan& plan, std::uint32_t seed);
+
+/// Validate every active PE's C block against a host reference matmul.
+/// Returns "" on success, else a human-readable mismatch description.
+[[nodiscard]] std::string verify_cannon_output(machine::Machine& m,
+                                               const device::GroupInfo& info,
+                                               const CannonPlan& plan,
+                                               std::uint32_t seed);
+
+/// The device kernel (one coroutine per PE of the group).
+[[nodiscard]] sim::Op<void> cannon_kernel(device::CoreCtx& ctx,
+                                          std::shared_ptr<Group> group,
+                                          CannonPlan plan);
+
+// ---- all-to-all transpose -------------------------------------------------
+
+struct TransposePlan {
+  unsigned n = 1;      // PEs in the group
+  unsigned elems = 16; // 4-byte words per PE pair
+  unsigned iters = 1;
+  arch::Addr send = 0, recv = 0;  // n blocks of elems words each
+  arch::Addr sig = 0;             // n per-source arrival words
+};
+
+[[nodiscard]] TransposePlan plan_transpose(SymmetricHeap& heap,
+                                           const device::GroupInfo& info,
+                                           unsigned elems, unsigned iters);
+
+/// Deterministic word for element `e` of the block PE `src` sends to `dst`.
+[[nodiscard]] std::uint32_t transpose_word(std::uint32_t seed, unsigned src,
+                                           unsigned dst, unsigned e) noexcept;
+
+void fill_transpose_inputs(machine::Machine& m, const device::GroupInfo& info,
+                           const TransposePlan& plan, std::uint32_t seed);
+
+[[nodiscard]] std::string verify_transpose_output(machine::Machine& m,
+                                                  const device::GroupInfo& info,
+                                                  const TransposePlan& plan,
+                                                  std::uint32_t seed);
+
+[[nodiscard]] sim::Op<void> transpose_kernel(device::CoreCtx& ctx,
+                                             std::shared_ptr<Group> group,
+                                             TransposePlan plan);
+
+}  // namespace epi::shmem

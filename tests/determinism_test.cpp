@@ -24,6 +24,8 @@
 #include "core/stencil.hpp"
 #include "fault/plan.hpp"
 #include "host/system.hpp"
+#include "shmem/shmem.hpp"
+#include "shmem/workloads.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 
@@ -101,6 +103,50 @@ TEST(GoldenDeterminism, ElinkContentionIterations) {
   std::vector<std::uint64_t> iters;
   for (const auto& n : res.nodes) iters.push_back(n.iterations);
   EXPECT_EQ(iters, (std::vector<std::uint64_t>{37, 18, 12, 6}));
+}
+
+// epi-shmem end to end: a 2x2 Cannon matmul over put_with_signal rotation
+// plus barriers, replayed from the same seed in a fresh System. The replay
+// must be byte-identical (FNV-1a over every PE's C block) and land on the
+// same cycle -- the flag-generation protocols, the chained signal
+// descriptors, and the dissemination barrier all drain through the one
+// event queue, so any nondeterminism shows up as a hash or cycle drift.
+TEST(GoldenDeterminism, ShmemCannonSameSeedReplay) {
+  auto run_once = [](std::uint64_t& out_hash) -> sim::Cycles {
+    host::System sys;
+    auto wg = sys.open(0, 0, 2, 2);
+    auto group = std::make_shared<shmem::Group>(sys.machine(), wg.info());
+    const auto plan = shmem::plan_cannon(group->heap(), wg.info(), 8, 2);
+    shmem::fill_cannon_inputs(sys.machine(), wg.info(), plan, 2026);
+    wg.load([group, plan](device::CoreCtx& ctx) -> sim::Op<void> {
+      return shmem::cannon_kernel(ctx, group, plan);
+    });
+    wg.run();
+    EXPECT_EQ(shmem::verify_cannon_output(sys.machine(), wg.info(), plan, 2026),
+              "");
+    std::uint64_t h = 1469598103934665603ull;
+    const auto& map = sys.machine().mem().map();
+    for (unsigned pe = 0; pe < group->n_pes(); ++pe) {
+      for (std::uint32_t off = 0; off < plan.block * plan.block * 4; off += 4) {
+        std::uint32_t w = 0;
+        sys.read(map.global(group->coord_of(pe), plan.c + off),
+                 std::as_writable_bytes(std::span<std::uint32_t, 1>(&w, 1)));
+        for (int b = 0; b < 4; ++b) {
+          h ^= (w >> (8 * b)) & 0xff;
+          h *= 1099511628211ull;
+        }
+      }
+    }
+    out_hash = h;
+    return sys.machine().engine().now();
+  };
+  std::uint64_t h1 = 0, h2 = 0;
+  const sim::Cycles c1 = run_once(h1);
+  const sim::Cycles c2 = run_once(h2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(h1, 6834394640293651171ull);
+  EXPECT_EQ(c1, 9964u);
 }
 
 // The fault injector's contract is that it is *passive*: arming an empty

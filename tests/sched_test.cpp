@@ -311,6 +311,27 @@ TEST(Workload, SaveLoadRoundTrips) {
   EXPECT_EQ(sched::save(loaded), text);
 }
 
+TEST(Workload, JobKindNamesRoundTripForEveryKind) {
+  // Exhaustive over kAllJobKinds so adding a JobKind without wiring its
+  // to_string/parse_kind pair fails here rather than in a spec file later.
+  for (const sched::JobKind k : sched::kAllJobKinds) {
+    const char* name = sched::to_string(k);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    sched::JobKind parsed{};
+    ASSERT_TRUE(sched::parse_kind(name, parsed)) << name;
+    EXPECT_EQ(parsed, k) << name;
+  }
+  sched::JobKind k{};
+  EXPECT_FALSE(sched::parse_kind("warp", k));
+  EXPECT_FALSE(sched::parse_kind("", k));
+  // The shmem kinds spell exactly as the spec-file grammar documents.
+  ASSERT_TRUE(sched::parse_kind("cannon", k));
+  EXPECT_EQ(k, sched::JobKind::CannonMatmul);
+  ASSERT_TRUE(sched::parse_kind("transpose", k));
+  EXPECT_EQ(k, sched::JobKind::Transpose);
+}
+
 TEST(Workload, LoadRejectsMalformedLines) {
   std::istringstream bad1("job id=0 kind=warp rows=1 cols=1\n");
   EXPECT_THROW((void)sched::load(bad1), std::runtime_error);

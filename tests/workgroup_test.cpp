@@ -82,6 +82,23 @@ TEST(Workgroup, DmaDescriptorOverflowingScratchpad) {
   EXPECT_EQ(fs[0].finding.line, 1u);  // the .dma directive's source line
 }
 
+// ---- shmem put_with_signal: DMA payloads join the HB analysis -------------
+
+TEST(Workgroup, ShmemPutWithSignalVerifiesClean) {
+  const auto fs =
+      lint::verify_workgroup(fx::to_spec(fx::shmem_put_signal(/*racy=*/false)));
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(Workgroup, ShmemGetBeforeSignalTripsExactlyWgRace) {
+  const auto fs =
+      lint::verify_workgroup(fx::to_spec(fx::shmem_put_signal(/*racy=*/true)));
+  ASSERT_EQ(fs.size(), 1u) << dump(fs);
+  EXPECT_EQ(fs[0].finding.pass, "wg-race");
+  EXPECT_EQ(fs[0].finding.severity, lint::Severity::Error);
+  EXPECT_EQ(fs[0].core, 1u);  // at the consumer's premature read
+}
+
 // ---- further defect shapes ------------------------------------------------
 
 TEST(Workgroup, WaitOnFlagNobodyWrites) {

@@ -36,9 +36,13 @@
 //                        order)
 //     --asm-shape=RxC    workgroup shape for --asm              (default 1x1)
 //     --verify-selftest  admission-gate selftest: under --lint=strict the
-//                        statically-racy Listing-1/2 fixture must be rejected
-//                        with a wg-race verdict and its clean twin must
-//                        complete, deterministically across two runs
+//                        statically-racy fixtures (Listing-1/2 and the
+//                        epi-shmem get-before-signal consumer) must be
+//                        rejected with wg-race verdicts and their clean twins
+//                        must complete, deterministically across two runs
+//
+// Generated streams mix matmul, stencil, DRAM-window offload, and the
+// epi-shmem cannon/transpose PGAS workloads (see src/sched/workload.hpp).
 
 #include <cstdio>
 #include <fstream>
@@ -167,9 +171,10 @@ sched::JobSpec custom_job(const std::string& files, unsigned rows, unsigned cols
   return s;
 }
 
-/// Admission-gate selftest: the statically-racy Listing-1/2 fixture must be
-/// rejected under strict lint with a wg-race verdict; its clean twin (the
-/// same protocol with the flag wait) must be admitted and complete; and two
+/// Admission-gate selftest: the statically-racy fixtures -- the Listing-1/2
+/// read-without-wait and the epi-shmem get-before-signal consumer -- must be
+/// rejected under strict lint with wg-race verdicts; their clean twins (the
+/// same protocols with the flag wait) must be admitted and complete; and two
 /// runs must be byte-identical. Returns the exit status.
 int verify_selftest() {
   const auto job_of = [](const lint::fixtures::WgFixture& fx, std::uint32_t id) {
@@ -188,32 +193,38 @@ int verify_selftest() {
     sched::Scheduler sc(sys, cfg);
     sc.submit(job_of(lint::fixtures::listing12(/*racy=*/true), 1));
     sc.submit(job_of(lint::fixtures::listing12(/*racy=*/false), 2));
+    sc.submit(job_of(lint::fixtures::shmem_put_signal(/*racy=*/true), 3));
+    sc.submit(job_of(lint::fixtures::shmem_put_signal(/*racy=*/false), 4));
     sc.run();
     return std::make_pair(sc.records(), sc.event_log());
   };
 
   const auto [records, log] = run();
   bool ok = true;
-  const auto& racy = records[0];
-  const auto& clean = records[1];
-  if (racy.verdict != sched::Verdict::Rejected) {
-    std::fprintf(stderr,
-                 "verify-selftest: FAIL: racy job verdict is %s, want rejected\n",
-                 sched::to_string(racy.verdict));
-    ok = false;
-  } else if (racy.detail.find("wg-race") == std::string::npos) {
-    std::fprintf(stderr,
-                 "verify-selftest: FAIL: racy job's verdict names no wg-race "
-                 "finding: %s\n",
-                 racy.detail.c_str());
-    ok = false;
-  }
-  if (clean.verdict != sched::Verdict::Completed) {
-    std::fprintf(stderr,
-                 "verify-selftest: FAIL: clean job verdict is %s (%s), want "
-                 "completed\n",
-                 sched::to_string(clean.verdict), clean.detail.c_str());
-    ok = false;
+  for (const std::size_t r : {std::size_t{0}, std::size_t{2}}) {
+    const auto& racy = records[r];
+    const auto& clean = records[r + 1];
+    const char* what = r == 0 ? "listing12" : "shmem_put_signal";
+    if (racy.verdict != sched::Verdict::Rejected) {
+      std::fprintf(
+          stderr,
+          "verify-selftest: FAIL: racy %s job verdict is %s, want rejected\n",
+          what, sched::to_string(racy.verdict));
+      ok = false;
+    } else if (racy.detail.find("wg-race") == std::string::npos) {
+      std::fprintf(stderr,
+                   "verify-selftest: FAIL: racy %s job's verdict names no "
+                   "wg-race finding: %s\n",
+                   what, racy.detail.c_str());
+      ok = false;
+    }
+    if (clean.verdict != sched::Verdict::Completed) {
+      std::fprintf(stderr,
+                   "verify-selftest: FAIL: clean %s job verdict is %s (%s), "
+                   "want completed\n",
+                   what, sched::to_string(clean.verdict), clean.detail.c_str());
+      ok = false;
+    }
   }
   const auto [records2, log2] = run();
   if (log2 != log) {
@@ -230,8 +241,10 @@ int verify_selftest() {
     }
   }
   if (ok) {
-    std::printf("verify-selftest: PASS (racy fixture rejected at admission: %s)\n",
-                racy.detail.c_str());
+    std::printf(
+        "verify-selftest: PASS (racy listing12: %s; racy shmem_put_signal: "
+        "%s)\n",
+        records[0].detail.c_str(), records[2].detail.c_str());
   }
   return ok ? 0 : 1;
 }
