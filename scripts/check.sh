@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Full verification sweep: a Release build with the normal test suite, then
 # a Debug build with AddressSanitizer/UBSan (-DEPI_SANITIZE=ON) running the
-# same suite. Run from the repository root:
+# same suite, then a ThreadSanitizer build (-DEPI_SANITIZE=tsan) running the
+# threaded PDES executor tests plus a small parallel cluster serve. Run from
+# the repository root:
 #
 #     scripts/check.sh [extra ctest args...]
+#
+# Set EPI_SKIP_TSAN=1 to stop after the ASan sweep (CI runs the TSan stage
+# as its own parallel job).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,5 +36,23 @@ cmake --build build-asan -j "${JOBS}"
 # reports at exit. ASan/UBSan proper remain fully enabled.
 ASAN_OPTIONS=detect_leaks=0 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}" "$@"
+
+if [[ "${EPI_SKIP_TSAN:-0}" == 1 ]]; then
+  echo "== ThreadSanitizer stage skipped (EPI_SKIP_TSAN=1) =="
+  echo "All checks passed."
+  exit 0
+fi
+
+echo "== ThreadSanitizer build (PDES executor) =="
+# TSan checks the genuinely multi-threaded code: the SPSC channels, the
+# window barrier, and the cluster executor. The sim/parallel test binaries
+# cover the synchronisation paths; the epi_serve cluster selftest then runs
+# a real multi-chip serve at several worker counts under TSan.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEPI_SANITIZE=tsan
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+    -R '(Parallel|Cluster|Spsc|Engine|Determinism)' "$@"
+./build-tsan/tools/epi_serve --chips=2x2 --jobs=6 --parallel=4 --selftest \
+    > /dev/null
 
 echo "All checks passed."

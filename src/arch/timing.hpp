@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "arch/coords.hpp"
 #include "sim/engine.hpp"
 
 namespace epi::arch {
@@ -85,6 +86,18 @@ struct TimingParams {
   /// Fixed per-transaction latency crossing the FPGA glue logic.
   sim::Cycles elink_txn_latency_cycles = 200;
 
+  // ---- xMesh inter-chip bridges (multi-chip clusters) -------------------
+  // Epiphany chips tile into larger arrays over the off-chip xMesh fabric;
+  // the paper's eLink is the physical seam (section II). Every chip-to-chip
+  // message pays the eLink transaction latency (FPGA glue) plus a per-hop
+  // flight cost on the chip grid, and the sender serialises bytes at
+  // eLink-grade (not mesh-grade) bandwidth with the observed 4x protocol
+  // overhead. The conservative-PDES lookahead is derived from these via
+  // xmesh_min_latency(): no cross-chip effect can land sooner.
+  sim::Cycles xmesh_hop_latency_cycles = 250;  // per chip-grid hop in flight
+  double xmesh_bytes_per_cycle = 1.0;          // sender egress serialization
+  double xmesh_write_overhead = 4.0;           // sustained/raw eLink ratio
+
   // ---- Synchronisation primitives --------------------------------------
   /// Hardware mutex: remote test-and-set round trip (read-network cost).
   sim::Cycles mutex_testset_base_cycles = 35;
@@ -106,6 +119,13 @@ struct TimingParams {
   /// Sustained eLink write bandwidth in bytes/second (150 MB/s observed).
   [[nodiscard]] double elink_write_bytes_per_sec() const noexcept {
     return elink_bytes_per_cycle / elink_write_overhead * clock_hz;
+  }
+  /// Minimum latency of any cross-chip effect: one eLink transaction
+  /// through the glue logic plus (at least) one chip-grid hop in flight.
+  /// This is the parallel executor's lookahead -- with the defaults,
+  /// 200 + 250 = 450 cycles.
+  [[nodiscard]] sim::Cycles xmesh_min_latency() const noexcept {
+    return elink_txn_latency_cycles + xmesh_hop_latency_cycles;
   }
 };
 

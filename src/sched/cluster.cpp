@@ -1,0 +1,228 @@
+#include "sched/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "host/system.hpp"
+#include "noc/xmesh.hpp"
+#include "sched/kernels.hpp"
+#include "sched/report.hpp"
+#include "sim/random.hpp"
+#include "util/fmt.hpp"
+
+namespace epi::sched {
+
+namespace {
+// Wire cost of a forwarded launch beyond its operand footprint (the spec
+// itself: ids, shape, SLOs), and of the fixed-size completion notice.
+constexpr std::size_t kForwardHeaderBytes = 128;
+constexpr std::size_t kNoticeBytes = 64;
+}  // namespace
+
+// One chip = one PDES domain. The scheduler and every engine event of this
+// chip are touched only by the worker currently advancing the domain;
+// cross-chip effects arrive exclusively through ParallelEngine::send.
+struct ClusterScheduler::Chip final : sim::Domain {
+  Chip(const arch::MachineConfig& mc, const SchedConfig& sc, unsigned chips)
+      : sys(mc), sched(sys, sc), bridge(sys.timing(), chips) {}
+
+  sim::Engine& engine() override { return sys.engine(); }
+
+  // Alternate the scheduler pump with raw event draining: once every local
+  // job is resolved the scheduler loop no-ops, but late completion notices
+  // (plain engine events) must still run inside their window.
+  void advance(sim::Cycles limit) override {
+    sim::Engine& eng = sys.engine();
+    for (;;) {
+      sched.run_window(limit);
+      if (!eng.step_below(limit)) return;
+    }
+  }
+
+  // Mirrors the sequential run() loop exactly: while the event queue is
+  // non-empty the next event is the floor (host wakeups are only armed on
+  // an empty queue, so a horizon below a pending event is never acted on
+  // and must not drag the window back).
+  sim::Cycles next_time() override {
+    const sim::Cycles t = sys.engine().next_event_time();
+    if (t != sim::Engine::kNever) return t;
+    return sched.host_horizon();
+  }
+
+  host::System sys;
+  Scheduler sched;
+  noc::XMeshBridge bridge;           // sender-local egress state
+  std::vector<std::string> notices;  // delivered notices (origin side)
+  std::uint64_t forwards = 0;
+  std::uint64_t notices_sent = 0;
+};
+
+ClusterScheduler::ClusterScheduler(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  part_.chip_rows = cfg_.chip_rows;
+  part_.chip_cols = cfg_.chip_cols;
+  part_.chip = cfg_.chip.dims;
+  const unsigned k = part_.chips();
+  if (k == 0) throw std::invalid_argument("cluster needs at least one chip");
+  if (!cfg_.fault_plans.empty() && cfg_.fault_plans.size() != k) {
+    throw std::invalid_argument("fault_plans must hold one plan per chip");
+  }
+  if (cfg_.remote_frac < 0.0 || cfg_.remote_frac > 1.0) {
+    throw std::invalid_argument("remote_frac must be in [0, 1]");
+  }
+
+  pe_ = std::make_unique<sim::ParallelEngine>(
+      noc::XMeshBridge::min_latency(cfg_.chip.timing));
+  chips_.reserve(k);
+  for (unsigned c = 0; c < k; ++c) {
+    chips_.push_back(std::make_unique<Chip>(cfg_.chip, cfg_.sched, k));
+    if (!cfg_.fault_plans.empty() && !cfg_.fault_plans[c].empty()) {
+      chips_[c]->sys.machine().enable_faults(cfg_.fault_plans[c]);
+    }
+    pe_->add_domain(*chips_[c]);
+  }
+
+  route_streams();
+
+  // Completion notices: when a chip resolves a job it did not originate, the
+  // verdict travels back over the same bridge and lands as a log line on
+  // the origin chip. Runs on the home chip's worker; the delivery closure
+  // runs on the origin chip's worker, one window or more later.
+  for (unsigned h = 0; h < k; ++h) {
+    chips_[h]->sched.set_resolve_hook(
+        [this, h](const JobRecord& rec, sim::Cycles now) {
+          const unsigned o = rec.spec.origin_chip;
+          if (o == h) return;
+          Chip& home = *chips_[h];
+          const sim::Cycles at =
+              home.bridge.send(o, part_.hops(h, o), kNoticeBytes, now);
+          ++home.notices_sent;
+          const std::uint32_t id = rec.spec.id;
+          const Verdict v = rec.verdict;
+          pe_->send(h, o, at, id, [this, o, id, v, at] {
+            chips_[o]->notices.push_back(util::format(
+                "@%llu notice job=%u verdict=%s",
+                static_cast<unsigned long long>(at), id, to_string(v)));
+          });
+        });
+  }
+}
+
+ClusterScheduler::~ClusterScheduler() = default;
+
+void ClusterScheduler::route_streams() {
+  const unsigned k = part_.chips();
+  for (unsigned c = 0; c < k; ++c) {
+    TrafficConfig tc = cfg_.traffic;
+    tc.seed = cfg_.traffic.seed + 1000003ull * c;  // independent per-chip stream
+    std::vector<JobSpec> jobs = generate(tc);
+    // Routing draws come from their own stream so adding a routing decision
+    // never perturbs the job shapes/SLOs drawn above.
+    sim::Rng route(cfg_.traffic.seed ^ (0x9e3779b97f4a7c15ull * (c + 1)));
+    for (JobSpec& s : jobs) {
+      s.id = c * 100'000u + s.id;  // cluster-unique ids (tie-break key)
+      s.origin_chip = c;
+      s.home_chip = c;
+      if (k > 1 && route.next_float() < cfg_.remote_frac) {
+        s.home_chip =
+            (c + 1 + static_cast<unsigned>(route.next_below(k - 1))) % k;
+      }
+      if (s.home_chip == c) {
+        chips_[c]->sched.submit(std::move(s));
+      } else {
+        queue_forward(std::move(s));
+      }
+    }
+  }
+}
+
+void ClusterScheduler::queue_forward(JobSpec spec) {
+  const unsigned o = spec.origin_chip;
+  const unsigned h = spec.home_chip;
+  // The bridge send is computed *at departure time* (an egress event on the
+  // origin engine), not at setup: egress serialization queues behind every
+  // earlier forward in that chip's event order, exactly like the sequential
+  // single-engine accounting would.
+  Chip& origin = *chips_[o];
+  origin.sys.engine().call_at(
+      spec.arrival, [this, o, h, s = std::move(spec)]() mutable {
+        Chip& oc = *chips_[o];
+        const std::size_t bytes = kForwardHeaderBytes + job_shm_bytes(s);
+        const sim::Cycles at =
+            oc.bridge.send(h, part_.hops(o, h), bytes, oc.sys.engine().now());
+        ++oc.forwards;
+        s.arrival = at;  // the home chip sees the delivery cycle as arrival
+        const std::uint32_t key = s.id;
+        pe_->send(o, h, at, key, [this, h, js = std::move(s)]() mutable {
+          chips_[h]->sched.submit_remote(std::move(js));
+        });
+      });
+}
+
+void ClusterScheduler::run(unsigned workers) {
+  if (ran_) throw std::logic_error("ClusterScheduler::run called twice");
+  ran_ = true;
+  for (auto& ch : chips_) ch->sched.begin();
+  pe_->run(workers);
+  for (auto& ch : chips_) {
+    ch->sched.finish();
+    if (!ch->sched.finished()) {
+      throw std::logic_error("cluster run ended with unresolved jobs");
+    }
+  }
+  stats_.chips = part_.chips();
+  stats_.lookahead = pe_->lookahead();
+  stats_.windows = pe_->stats().windows;
+  for (auto& ch : chips_) {
+    stats_.forwards += ch->forwards;
+    stats_.notices += ch->notices_sent;
+    stats_.xmesh_bytes += ch->bridge.bytes_sent();
+    stats_.makespan = std::max(stats_.makespan, ch->sched.makespan());
+  }
+}
+
+const sim::ParallelStats& ClusterScheduler::parallel_stats() const {
+  return pe_->stats();
+}
+
+const Scheduler& ClusterScheduler::chip_sched(unsigned chip) const {
+  return chips_.at(chip)->sched;
+}
+
+const std::vector<std::string>& ClusterScheduler::notices(unsigned chip) const {
+  return chips_.at(chip)->notices;
+}
+
+std::string ClusterScheduler::report() const {
+  if (!ran_) throw std::logic_error("ClusterScheduler::report before run");
+  // Worker count and wall-clock are deliberately absent: these bytes are the
+  // determinism contract compared across --parallel=N.
+  std::string out = util::format(
+      "=== epi-serve cluster %ux%u: %u chips x %ux%u cores ===\n",
+      cfg_.chip_rows, cfg_.chip_cols, part_.chips(), part_.chip.rows,
+      part_.chip.cols);
+  out += util::format(
+      "lookahead=%llu cycles  windows=%llu  makespan=%llu\n",
+      static_cast<unsigned long long>(stats_.lookahead),
+      static_cast<unsigned long long>(stats_.windows),
+      static_cast<unsigned long long>(stats_.makespan));
+  out += util::format(
+      "xmesh: forwards=%llu notices=%llu bytes=%llu\n",
+      static_cast<unsigned long long>(stats_.forwards),
+      static_cast<unsigned long long>(stats_.notices),
+      static_cast<unsigned long long>(stats_.xmesh_bytes));
+  for (unsigned c = 0; c < chips_.size(); ++c) {
+    out += util::format("\n--- chip %u (%u,%u) ---\n", c, part_.chip_row(c),
+                        part_.chip_col(c));
+    out += render_report(chips_[c]->sched);
+    if (!chips_[c]->notices.empty()) {
+      out += "cross-chip notices:\n";
+      for (const std::string& n : chips_[c]->notices) {
+        out += "  " + n + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace epi::sched

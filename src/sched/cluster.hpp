@@ -1,0 +1,99 @@
+#pragma once
+// epi-serve cluster mode: serving a multi-chip xMesh array in parallel.
+//
+// One chip is one conservative-PDES domain (machine/partition.hpp): it owns
+// its own Machine, engine, and Scheduler, and advances on a worker thread
+// inside sim::ParallelEngine's synchronous windows. The only cross-domain
+// traffic is job forwarding -- a deterministic fraction of each chip's
+// arrival stream is homed on another chip, so the launch request crosses
+// the xMesh bridge (serialization + per-hop flight, noc/xmesh.hpp) before
+// joining the home chip's admission queue -- plus the completion notice
+// that flows back to the origin when the job resolves.
+//
+// Determinism contract (the tentpole property): the window schedule and
+// every per-domain event order are pure functions of the configuration, so
+// run(N) produces byte-identical reports, decision logs, and notice logs
+// for every worker count N, including N=1 (the sequential reference, which
+// executes the very same window loop inline).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/timing.hpp"
+#include "fault/plan.hpp"
+#include "machine/partition.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+#include "sim/parallel.hpp"
+
+namespace epi::sched {
+
+struct ClusterConfig {
+  unsigned chip_rows = 2;          // chip grid (domains = chip_rows*chip_cols)
+  unsigned chip_cols = 2;
+  arch::MachineConfig chip{};      // every chip runs the same machine config
+  SchedConfig sched{};             // per-chip scheduler policy
+  TrafficConfig traffic{};         // per-chip stream; seed is offset per chip
+  double remote_frac = 0.25;       // fraction of each stream homed off-chip
+  // Optional per-chip fault plans (empty vector = fault-free cluster; when
+  // set, must hold exactly one plan per chip -- empty plans are allowed and
+  // leave that chip clean).
+  std::vector<fault::FaultPlan> fault_plans{};
+};
+
+struct ClusterStats {
+  unsigned chips = 0;
+  sim::Cycles lookahead = 0;       // PDES lookahead (min cross-chip latency)
+  std::uint64_t windows = 0;       // synchronisation windows executed
+  std::uint64_t forwards = 0;      // cross-chip job launches
+  std::uint64_t notices = 0;       // completion notices sent back
+  std::uint64_t xmesh_bytes = 0;   // bytes serialized over chip egress links
+  sim::Cycles makespan = 0;        // max per-chip makespan
+};
+
+/// Owns the chips, routes the streams, and drives the parallel run. All
+/// report/log accessors are valid after run() and independent of the worker
+/// count used.
+class ClusterScheduler {
+public:
+  explicit ClusterScheduler(ClusterConfig cfg);
+  ~ClusterScheduler();
+
+  ClusterScheduler(const ClusterScheduler&) = delete;
+  ClusterScheduler& operator=(const ClusterScheduler&) = delete;
+
+  /// Serve every chip's stream to completion using `workers` threads
+  /// (clamped to [1, chips]). Callable once.
+  void run(unsigned workers);
+
+  /// Deterministic cluster report: header + per-chip epi-serve reports +
+  /// cross-chip notice logs. Excludes worker count and wall-clock by design
+  /// so the bytes are identical for every `workers` value.
+  [[nodiscard]] std::string report() const;
+
+  [[nodiscard]] const machine::PartitionMap& partition() const noexcept {
+    return part_;
+  }
+  [[nodiscard]] const ClusterStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const sim::ParallelStats& parallel_stats() const;
+  [[nodiscard]] const Scheduler& chip_sched(unsigned chip) const;
+  /// Completion notices delivered to `chip` (origin side), delivery order.
+  [[nodiscard]] const std::vector<std::string>& notices(unsigned chip) const;
+
+private:
+  struct Chip;
+
+  void route_streams();
+  void queue_forward(JobSpec spec);
+
+  ClusterConfig cfg_;
+  machine::PartitionMap part_;
+  std::vector<std::unique_ptr<Chip>> chips_;
+  std::unique_ptr<sim::ParallelEngine> pe_;
+  ClusterStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace epi::sched

@@ -81,6 +81,13 @@ struct JobSpec {
   unsigned block = 16;         // matmul block edge / stencil tile edge /
                                // offload elements-per-core = block*block
   unsigned launch_failures = 0;  // injected failures before a launch sticks
+  /// Cluster domain tags (single-chip runs leave both 0). `home_chip` is
+  /// the chip (PDES domain) whose scheduler executes the job; `origin_chip`
+  /// is the chip whose host submitted it. When they differ, the launch is
+  /// forwarded over the xMesh bridge and arrives at the home chip one
+  /// serialized transfer plus flight latency later.
+  unsigned home_chip = 0;
+  unsigned origin_chip = 0;
   /// Custom jobs only: (name, assembly source) per core -- one program
   /// replicates SPMD-style across the group, otherwise exactly rows*cols in
   /// row-major order. Verified by the admission-time lint gate (addresses

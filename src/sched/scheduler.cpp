@@ -122,6 +122,7 @@ void Scheduler::resolve(JobRecord& rec, Verdict v, sim::Cycles now,
     case Verdict::Pending:
       throw std::logic_error("resolve to Pending");
   }
+  if (resolve_hook_) resolve_hook_(rec, now);
 }
 
 bool Scheduler::admit_arrivals(sim::Cycles now) {
@@ -602,7 +603,7 @@ sim::Cycles Scheduler::next_wakeup(sim::Cycles now) const {
   return t;
 }
 
-void Scheduler::run() {
+void Scheduler::begin() {
   if (ran_) throw std::logic_error("Scheduler::run called twice");
   ran_ = true;
   arrivals_.resize(records_.size());
@@ -614,7 +615,9 @@ void Scheduler::run() {
                      }
                      return records_[a].spec.id < records_[b].spec.id;
                    });
+}
 
+void Scheduler::run_window(sim::Cycles limit) {
   sim::Engine& eng = sys_->engine();
   while (resolved_ < records_.size()) {
     const sim::Cycles now = eng.now();
@@ -627,24 +630,65 @@ void Scheduler::run() {
       try_place(now);
     }
     if (resolved_ >= records_.size()) break;
-    if (eng.step()) continue;
-    // No device events runnable. If groups are still resident their kernels
-    // are deadlocked: without a watchdog that is fatal (the pre-fault
-    // behaviour); with one, the next horizon visit converts each silent
-    // group into a FaultReport and the loop continues.
+    if (eng.step_below(limit)) continue;
+    // Nothing runnable below the window end. If events remain beyond it the
+    // window is simply exhausted; the PDES barrier resumes us later at the
+    // exact point the open-ended loop would have reached.
+    if (!eng.empty()) return;
+    // No device events runnable at all. If groups are still resident their
+    // kernels are deadlocked: without a watchdog that is fatal (the pre-
+    // fault behaviour); with one, the next horizon visit converts each
+    // silent group into a FaultReport and the loop continues.
     if (!running_.empty() && cfg_.watchdog_cycles == 0) {
       throw sim::DeadlockError(eng.live_processes(), eng.live_process_names());
     }
     const sim::Cycles t = next_wakeup(now);
     if (t == kNever) {
+      if (limit != kNever) return;  // cluster mode: idle until a forward lands
       if (!running_.empty()) {
         throw sim::DeadlockError(eng.live_processes(), eng.live_process_names());
       }
       throw std::logic_error("scheduler stalled with unresolved jobs and no horizon");
     }
+    if (t >= limit) return;  // horizon beyond the window: pause, do not arm
     eng.call_at(t, [] {});
   }
-  makespan_ = std::max(makespan_, eng.now());
+}
+
+sim::Cycles Scheduler::host_horizon() const {
+  if (!ran_ || resolved_ >= records_.size()) return kNever;
+  return next_wakeup(sys_->engine().now());
+}
+
+void Scheduler::finish() { makespan_ = std::max(makespan_, sys_->engine().now()); }
+
+void Scheduler::submit_remote(JobSpec spec) {
+  if (!ran_) throw std::logic_error("Scheduler::submit_remote before begin()");
+  const sim::Cycles now = sys_->engine().now();
+  if (spec.arrival < now) spec.arrival = now;
+  const auto idx = static_cast<std::uint32_t>(records_.size());
+  JobRecord rec;
+  rec.spec = std::move(spec);
+  records_.push_back(std::move(rec));
+  // Keep the unconsumed arrival tail sorted by (arrival, id). The delivery
+  // time is >= now, and every consumed arrival is <= now, so the insertion
+  // point can never fall before next_arrival_.
+  const auto cmp = [&](std::uint32_t a, std::uint32_t b) {
+    if (records_[a].spec.arrival != records_[b].spec.arrival) {
+      return records_[a].spec.arrival < records_[b].spec.arrival;
+    }
+    return records_[a].spec.id < records_[b].spec.id;
+  };
+  const auto it = std::lower_bound(
+      arrivals_.begin() + static_cast<std::ptrdiff_t>(next_arrival_),
+      arrivals_.end(), idx, cmp);
+  arrivals_.insert(it, idx);
+}
+
+void Scheduler::run() {
+  begin();
+  run_window(kNever);
+  finish();
 }
 
 double Scheduler::utilisation() const noexcept {

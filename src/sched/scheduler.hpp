@@ -34,6 +34,7 @@
 // event logs, reports, and metrics; tests assert this.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,6 +94,49 @@ public:
   /// verdict. Jobs already resident keep running while new ones are placed;
   /// host scheduling actions are untimed, matching the paper's methodology.
   void run();
+
+  // ---- windowed (PDES) driving --------------------------------------------
+  // The cluster executor advances each chip's scheduler in conservative
+  // time windows instead of one open-ended run(). The decomposition below
+  // is exactly run()'s loop split at window boundaries: run() itself is
+  // begin() + run_window(no limit) + finish(), so the open-ended behaviour
+  // (and its byte-identical decision log) is unchanged.
+
+  /// Freeze the submitted stream into (arrival, id) order and arm the run.
+  /// After begin(), only submit_remote() may add jobs.
+  void begin();
+
+  /// Advance until the next runnable work lies at or beyond `limit` (events
+  /// with time strictly below `limit` run), or every job is resolved.
+  /// Resumable: calling again with a later limit continues exactly where
+  /// the open-ended loop would have been.
+  void run_window(sim::Cycles limit);
+
+  /// True once every submitted job has a terminal verdict.
+  [[nodiscard]] bool finished() const noexcept {
+    return ran_ && resolved_ >= records_.size();
+  }
+
+  /// Earliest host-side wakeup (arrival, retry, timeout or watchdog
+  /// horizon), or Engine::kNever when finished or none is armed. The
+  /// domain's next_time() merges this with the engine's next event.
+  [[nodiscard]] sim::Cycles host_horizon() const;
+
+  /// Fold the final engine time into the makespan (run() does this itself;
+  /// windowed drivers call it once after global completion).
+  void finish();
+
+  /// Cluster forwarding: submit a job that arrived over the xMesh after
+  /// begin(). `spec.arrival` must be at or after the current engine time
+  /// (it is the delivery cycle); the job joins the not-yet-admitted
+  /// arrival stream in (arrival, id) order.
+  void submit_remote(JobSpec spec);
+
+  /// Hook invoked whenever a job reaches a terminal verdict (cluster
+  /// completion notices). Called after the record is final.
+  void set_resolve_hook(std::function<void(const JobRecord&, sim::Cycles)> hook) {
+    resolve_hook_ = std::move(hook);
+  }
 
   [[nodiscard]] const std::vector<JobRecord>& records() const noexcept {
     return records_;
@@ -171,6 +215,7 @@ private:
   std::vector<fault::FaultReport> fault_log_;
   std::vector<std::string> log_;
   std::size_t resolved_ = 0;
+  std::function<void(const JobRecord&, sim::Cycles)> resolve_hook_;
   sim::Cycles makespan_ = 0;
   double busy_core_cycles_ = 0.0;
   unsigned peak_resident_ = 0;

@@ -104,12 +104,18 @@ std::string save(const std::vector<JobSpec>& jobs) {
   for (const JobSpec& s : jobs) {
     out += util::format(
         "job id=%u tenant=%s kind=%s rows=%u cols=%u prio=%u arrival=%llu "
-        "deadline=%llu timeout=%llu iters=%u block=%u failures=%u\n",
+        "deadline=%llu timeout=%llu iters=%u block=%u failures=%u",
         s.id, s.tenant.c_str(), to_string(s.kind), s.rows, s.cols, s.priority,
         static_cast<unsigned long long>(s.arrival),
         static_cast<unsigned long long>(s.deadline),
         static_cast<unsigned long long>(s.timeout), s.iters, s.block,
         s.launch_failures);
+    // Cluster domain tags, omitted for single-chip jobs so single-chip
+    // workload files stay byte-identical to the pre-cluster format.
+    if (s.home_chip != 0 || s.origin_chip != 0) {
+      out += util::format(" home=%u origin=%u", s.home_chip, s.origin_chip);
+    }
+    out += "\n";
   }
   return out;
 }
@@ -155,6 +161,8 @@ std::vector<JobSpec> load(std::istream& in, const std::string& source) {
         else if (key == "iters") s.iters = static_cast<unsigned>(std::stoul(val));
         else if (key == "block") s.block = static_cast<unsigned>(std::stoul(val));
         else if (key == "failures") s.launch_failures = static_cast<unsigned>(std::stoul(val));
+        else if (key == "home") s.home_chip = static_cast<unsigned>(std::stoul(val));
+        else if (key == "origin") s.origin_chip = static_cast<unsigned>(std::stoul(val));
         else throw fail("unknown field '" + key + "'");
       } catch (const std::invalid_argument&) {
         throw fail("field '" + key + "' has non-numeric value '" + val + "'");

@@ -1,0 +1,80 @@
+#pragma once
+// Single-producer / single-consumer channel for cross-domain PDES traffic.
+//
+// The parallel executor (sim/parallel.hpp) gives every ordered pair of
+// domains its own channel, so each channel has exactly one producer (the
+// worker thread advancing the source domain) and one consumer (the worker
+// thread that flushes the destination domain's inbox at the window
+// barrier). That ownership discipline is what makes a wait-free linked
+// queue sufficient: push and pop each touch one atomic `next` pointer with
+// release/acquire ordering, and no CAS loops or locks are ever needed.
+//
+// The channel is unbounded. Cross-domain messages are rare relative to
+// intra-domain events (one per job forwarded across chips, one per
+// completion notice), so a node allocation per message is noise; what
+// matters is that a send never blocks a domain mid-window.
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace epi::sim {
+
+template <typename T>
+class SpscChannel {
+public:
+  SpscChannel() : head_(new Node{}), tail_(head_) {}
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+  ~SpscChannel() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Producer side. Wait-free: allocate, link, publish.
+  void push(T v) {
+    Node* n = new Node{std::move(v)};
+    tail_->next.store(n, std::memory_order_release);
+    tail_ = n;
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Consumer side. Returns false when the channel is (momentarily) empty.
+  bool pop(T& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    Node* old = head_;
+    head_ = next;
+    delete old;
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe.
+  [[nodiscard]] bool empty() const {
+    return head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Lifetime message count (relaxed; exact once producers are quiescent).
+  [[nodiscard]] std::uint64_t total_pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  Node* head_;  // consumer-owned; head_ is a consumed stub, head_->next is front
+  Node* tail_;  // producer-owned
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
+};
+
+}  // namespace epi::sim

@@ -73,6 +73,9 @@ private:
 
 class Engine {
 public:
+  /// Sentinel time: "no event / never". Larger than any reachable cycle.
+  static constexpr Cycles kNever = ~Cycles{0};
+
   Engine() : ring_(kRingSpan) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -123,6 +126,28 @@ public:
     return true;
   }
 
+  /// Process a single event with time strictly below `limit`; returns false
+  /// if the queue is empty or the next event lies at or beyond `limit`.
+  /// This is the conservative-window primitive: a PDES domain may only
+  /// consume events below the current window end.
+  bool step_below(Cycles limit) {
+    if (limit == 0) return false;
+    Event ev;
+    if (!pop(ev, limit - 1)) return false;
+    dispatch(ev);
+    return true;
+  }
+
+  /// Time of the earliest pending event, or kNever when the queue is empty.
+  /// Non-const: advances the ring scan cursor (pure lower-bound cache).
+  [[nodiscard]] Cycles next_event_time() {
+    Bucket* b = ring_front();
+    const bool have_heap = !heap_.empty();
+    if (b == nullptr) return have_heap ? heap_.top().t : kNever;
+    const Cycles rt = b->ev[b->head].t;
+    return have_heap && heap_.top().t < rt ? heap_.top().t : rt;
+  }
+
   [[nodiscard]] bool empty() const noexcept {
     return ring_count_ == 0 && heap_.empty();
   }
@@ -150,7 +175,7 @@ public:
   void note_process_finished(std::uint64_t token) noexcept { live_.erase(token); }
 
 private:
-  static constexpr Cycles kNoLimit = ~Cycles{0};
+  static constexpr Cycles kNoLimit = kNever;
   /// Near-future window, in cycles (power of two). Delays beyond it land in
   /// the overflow heap; nearly all simulation delays (store issue, mesh and
   /// eLink occupancies, barrier hops, DMA chunk drains) are far shorter.

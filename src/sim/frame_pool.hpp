@@ -21,6 +21,14 @@
 // allocator: recycling frames would hide use-after-free on dangling
 // coroutine handles from the sanitizer, and the sanitized suite has caught
 // exactly that class of bug before.
+//
+// The pool is thread_local: the parallel PDES executor advances each
+// domain's engine on a fixed worker thread, so frame allocation and the
+// overwhelming majority of frees stay on the owning thread's pool with no
+// synchronisation. A block freed on a different thread (e.g. machine
+// teardown on the main thread) simply parks on that thread's free list --
+// blocks are plain operator-new storage with a self-describing size-class
+// header, so which pool recycles them is immaterial.
 
 #include <cstddef>
 #include <cstdint>
@@ -65,7 +73,7 @@ private:
   static constexpr std::uint32_t kOversized = ~std::uint32_t{0};
 
   static FramePool& inst() noexcept {
-    static FramePool pool;
+    thread_local FramePool pool;
     return pool;
   }
 

@@ -17,13 +17,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/matmul.hpp"
 #include "core/microbench.hpp"
 #include "core/stencil.hpp"
+#include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "host/system.hpp"
+#include "sched/cluster.hpp"
 #include "shmem/shmem.hpp"
 #include "shmem/workloads.hpp"
 #include "sim/engine.hpp"
@@ -182,6 +185,104 @@ TEST(GoldenDeterminism, ElinkContentionIterationsWithEmptyFaultPlan) {
   std::vector<std::uint64_t> iters;
   for (const auto& n : res.nodes) iters.push_back(n.iterations);
   EXPECT_EQ(iters, (std::vector<std::uint64_t>{37, 18, 12, 6}));
+}
+
+// ---- parallel (PDES) cluster serving ---------------------------------------
+//
+// The tentpole contract of --parallel=N: the cluster report, every chip's
+// decision log, and the cross-chip notice logs are byte-identical for every
+// worker count. Each scenario below runs with N in {1, 2, 4}, compares the
+// full byte stream against the N=1 reference, and pins its FNV-1a hash so
+// any drift in the window schedule or merge order fails loudly here.
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Everything observable from a cluster run, concatenated: report bytes,
+// per-chip decision logs, per-chip fault logs, per-chip notice logs.
+std::string cluster_bytes(const sched::ClusterConfig& cfg, unsigned workers) {
+  sched::ClusterScheduler cs(cfg);
+  cs.run(workers);
+  std::string all = cs.report();
+  for (unsigned c = 0; c < cs.stats().chips; ++c) {
+    for (const auto& line : cs.chip_sched(c).event_log()) all += line + "\n";
+    for (const auto& r : cs.chip_sched(c).fault_log()) {
+      all += fault::to_line(r) + "\n";
+    }
+    for (const auto& line : cs.notices(c)) all += line + "\n";
+  }
+  return all;
+}
+
+void expect_parallel_invariant(const sched::ClusterConfig& cfg,
+                               std::uint64_t golden) {
+  const std::string ref = cluster_bytes(cfg, 1);
+  EXPECT_EQ(cluster_bytes(cfg, 2), ref);
+  EXPECT_EQ(cluster_bytes(cfg, 4), ref);
+  EXPECT_EQ(fnv1a(ref), golden);
+}
+
+sched::ClusterConfig small_cluster() {
+  sched::ClusterConfig cfg;
+  cfg.chip_rows = 2;
+  cfg.chip_cols = 2;
+  cfg.traffic.jobs = 6;
+  cfg.traffic.seed = 7;
+  cfg.traffic.mean_interarrival = 50'000;
+  cfg.remote_frac = 0.3;
+  return cfg;
+}
+
+// Mixed serving traffic (matmul/stencil/offload/shmem kinds), clean chips.
+TEST(GoldenDeterminism, ClusterServeParallelInvariance) {
+  expect_parallel_invariant(small_cluster(), 10252299936465896053ull);
+}
+
+// Comm-bound epi-shmem traffic only (cannon + transpose): the PGAS flag
+// protocols and chained signal DMA all inside parallel windows.
+TEST(GoldenDeterminism, ClusterShmemMixParallelInvariance) {
+  sched::ClusterConfig cfg = small_cluster();
+  cfg.traffic.matmul_weight = 0;
+  cfg.traffic.stencil_weight = 0;
+  cfg.traffic.offload_weight = 0;
+  cfg.traffic.cannon_weight = 2;
+  cfg.traffic.transpose_weight = 2;
+  cfg.traffic.seed = 9;
+  expect_parallel_invariant(cfg, 13678313535663572526ull);
+}
+
+// Per-chip chaos plans with the watchdog armed: stalls, link outages and
+// write corruption become FaultReports and re-executions, and that whole
+// recovery story must still be worker-count-invariant.
+TEST(GoldenDeterminism, ClusterServeWithFaultsParallelInvariance) {
+  sched::ClusterConfig cfg = small_cluster();
+  cfg.sched.watchdog_cycles = 400'000;
+  for (unsigned c = 0; c < 4; ++c) {
+    fault::ChaosConfig chaos;
+    chaos.seed = 100 + c;
+    chaos.core_stalls = 1;
+    chaos.link_faults = 1;
+    chaos.mem_flips = 1;
+    cfg.fault_plans.push_back(fault::generate(chaos));
+  }
+  expect_parallel_invariant(cfg, 74659777904851189ull);
+}
+
+// Arming empty per-chip plans hooks every layer but must not move a single
+// event: identical bytes to the no-plan run, for every worker count.
+TEST(GoldenDeterminism, ClusterServeEmptyFaultPlansAreFree) {
+  const std::string ref = cluster_bytes(small_cluster(), 1);
+  sched::ClusterConfig armed = small_cluster();
+  armed.fault_plans.assign(4, fault::FaultPlan{});
+  EXPECT_EQ(cluster_bytes(armed, 1), ref);
+  EXPECT_EQ(cluster_bytes(armed, 2), ref);
+  EXPECT_EQ(cluster_bytes(armed, 4), ref);
 }
 
 }  // namespace

@@ -41,21 +41,37 @@
 //                        rejected with wg-race verdicts and their clean twins
 //                        must complete, deterministically across two runs
 //
+// Cluster (multi-chip xMesh) mode -- each chip is one conservative-PDES
+// domain with its own engine and scheduler, advanced in parallel windows:
+//     --chips=RxC        serve an RxC chip grid instead of one chip; each
+//                        chip gets its own seeded stream of --jobs jobs and
+//                        a --remote-frac fraction is forwarded over the
+//                        xMesh bridge to another chip's scheduler
+//     --parallel=N       worker threads for the cluster run (default 1;
+//                        reports are byte-identical for every N)
+//     --remote-frac=F    fraction of each chip's stream homed off-chip
+//                        (default 0.25)
+//     --selftest         in cluster mode: rerun with 1, 2 and N workers and
+//                        fail unless all reports are byte-identical
+//
 // Generated streams mix matmul, stencil, DRAM-window offload, and the
 // epi-shmem cannon/transpose PGAS workloads (see src/sched/workload.hpp).
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "host/system.hpp"
 #include "lint/wg_fixtures.hpp"
+#include "sched/cluster.hpp"
 #include "sched/report.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workload.hpp"
@@ -85,6 +101,9 @@ struct Options {
   std::string asm_files;       // comma-separated .s paths for one custom job
   unsigned asm_rows = 1, asm_cols = 1;
   bool verify_selftest = false;
+  unsigned chip_rows = 0, chip_cols = 0;  // 0 = single-chip mode
+  unsigned parallel = 1;
+  double remote_frac = 0.25;
 };
 
 bool value_flag(std::string_view arg, std::string_view flag, std::string& out) {
@@ -249,6 +268,75 @@ int verify_selftest() {
   return ok ? 0 : 1;
 }
 
+/// Cluster mode: serve an RxC chip grid through the parallel PDES executor.
+/// The report is byte-identical for every worker count; --selftest proves it
+/// by rerunning with other counts and comparing bytes.
+int run_cluster(const Options& opt) {
+  if (!opt.spec_path.empty() || !opt.asm_files.empty() ||
+      !opt.plan_path.empty() || !opt.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "epi_serve: --spec/--asm/--plan/--trace are single-chip "
+                 "flags; cluster mode generates its own per-chip streams\n");
+    return 2;
+  }
+  sched::ClusterConfig cc;
+  cc.chip_rows = opt.chip_rows;
+  cc.chip_cols = opt.chip_cols;
+  cc.traffic.jobs = opt.jobs;
+  cc.traffic.seed = opt.seed;
+  cc.traffic.mean_interarrival = opt.interarrival;
+  cc.sched.queue_capacity = opt.queue;
+  cc.sched.lint = opt.lint;
+  if (opt.watchdog_set) cc.sched.watchdog_cycles = opt.watchdog;
+  cc.remote_frac = opt.remote_frac;
+
+  const auto serve = [&cc](unsigned workers, double* wall_ms) {
+    sched::ClusterScheduler cs(cc);
+    const auto t0 = std::chrono::steady_clock::now();
+    cs.run(workers);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (wall_ms != nullptr) {
+      *wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    }
+    return cs.report();
+  };
+
+  std::cout << "serving a " << opt.chip_rows << "x" << opt.chip_cols
+            << " chip grid: " << opt.jobs << " jobs/chip (seed " << opt.seed
+            << "), remote-frac " << opt.remote_frac << ", --parallel="
+            << opt.parallel << "\n\n";
+  double wall = 0.0;
+  const std::string report = serve(opt.parallel, &wall);
+  std::cout << report;
+  // Timing is narrative only -- never part of the report bytes.
+  std::printf(
+      "\nwall-clock: %.1f ms with %u worker thread(s) (%u hardware threads)\n",
+      wall, opt.parallel, std::thread::hardware_concurrency());
+  if (!opt.report_path.empty()) {
+    std::ofstream os(opt.report_path, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot write report: " + opt.report_path);
+    os << report;
+  }
+  if (opt.selftest) {
+    bool ok = true;
+    for (const unsigned w : {1u, 2u}) {
+      if (w == opt.parallel) continue;
+      if (serve(w, nullptr) != report) {
+        std::fprintf(stderr,
+                     "epi_serve: FAIL: reports differ between --parallel=%u "
+                     "and --parallel=%u\n",
+                     opt.parallel, w);
+        ok = false;
+      }
+    }
+    std::cout << (ok ? "\nselftest: PASS (byte-identical cluster reports "
+                       "across worker counts)\n"
+                     : "\nselftest: FAIL\n");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -286,6 +374,31 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (value_flag(arg, "--chips", val)) {
+      const auto x = val.find('x');
+      try {
+        if (x == std::string::npos) throw std::invalid_argument(val);
+        opt.chip_rows = static_cast<unsigned>(std::stoul(val.substr(0, x)));
+        opt.chip_cols = static_cast<unsigned>(std::stoul(val.substr(x + 1)));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "epi_serve: --chips needs RxC (e.g. 2x2)\n");
+        return 2;
+      }
+      if (opt.chip_rows == 0 || opt.chip_cols == 0) {
+        std::fprintf(stderr, "epi_serve: --chips needs a non-empty grid\n");
+        return 2;
+      }
+      continue;
+    }
+    if (value_flag(arg, "--parallel", val)) {
+      opt.parallel = static_cast<unsigned>(std::stoul(val));
+      if (opt.parallel == 0) opt.parallel = 1;
+      continue;
+    }
+    if (value_flag(arg, "--remote-frac", val)) {
+      opt.remote_frac = std::stod(val);
+      continue;
+    }
     if (value_flag(arg, "--asm", opt.asm_files)) continue;
     if (value_flag(arg, "--asm-shape", val)) {
       const auto x = val.find('x');
@@ -314,6 +427,15 @@ int main(int argc, char** argv) {
       return verify_selftest();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "epi_serve: verify-selftest error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (opt.chip_rows != 0) {
+    try {
+      return run_cluster(opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "epi_serve: error: %s\n", e.what());
       return 1;
     }
   }
