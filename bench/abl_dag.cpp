@@ -1,0 +1,227 @@
+// Ablation: pipeline (job-graph) serving policies. One seeded all-pipeline
+// stream is replayed against a fresh machine under three scheduler policies:
+//
+//   serial  -- pipeline_overlap=false: whole graphs run one at a time in id
+//              order (the no-pipelining baseline; stage handoffs may still
+//              use the scratchpad path);
+//   piped   -- pipeline_overlap=true, scratch_handoff=true: stages of
+//              different graphs are co-resident, and adjacent producer ->
+//              consumer handoffs pull scratchpad-to-scratchpad over the mesh;
+//   dram    -- pipeline_overlap=true, scratch_handoff=false: same overlap,
+//              but every handoff goes through the shared-DRAM spill buffer
+//              and back over the contended eLink.
+//
+// The headline comparisons: piped vs serial on end-to-end graph throughput
+// (what stage pipelining buys), and piped vs dram on e2e latency (what the
+// scratchpad handoff path buys when co-placement makes stages adjacent).
+//
+// Results go to BENCH_dag.json; the committed copy at the repository root is
+// the baseline scripts/bench.sh compares new runs against.
+//
+// Usage: abl_dag [jobs_per_point] [--smoke] [--trace=FILE] [--csv=FILE]
+//                [--metrics=FILE] [--no-metrics]
+//
+// --smoke: shrink the stream, run every policy twice asserting the
+// scheduler's decision log is byte-identical run over run, and validate the
+// metrics file's schema (the ctest entry); non-zero exit on any mismatch.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "host/system.hpp"
+#include "sched/report.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+#include "util/bench_report.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace epi;
+
+struct Policy {
+  const char* name;
+  bool overlap;
+  bool scratch;
+};
+
+constexpr Policy kPolicies[] = {
+    {"serial", false, true},
+    {"piped", true, true},
+    {"dram", true, false},
+};
+
+struct PointResult {
+  sched::RunStats stats;
+  std::vector<std::string> event_log;
+};
+
+PointResult run_policy(host::System& sys, const Policy& p, unsigned jobs) {
+  sched::TrafficConfig tc;
+  tc.jobs = jobs;
+  tc.seed = 42;
+  tc.mean_interarrival = 20'000;
+  tc.pipeline_frac = 1.0;  // every request is a 2-3 stage graph
+  tc.fail_prob = 0.0;      // isolate the handoff/overlap policies under test
+  tc.timeout = 0;
+
+  sched::SchedConfig cfg;
+  cfg.pipeline_overlap = p.overlap;
+  cfg.scratch_handoff = p.scratch;
+
+  sched::Scheduler sc(sys, cfg);
+  for (auto& spec : sched::generate(tc)) sc.submit(std::move(spec));
+  sc.run();
+
+  PointResult pr;
+  pr.stats = sched::summarise(sc);
+  pr.event_log = sc.event_log();
+  return pr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = util::BenchArgs::parse(argc, argv, "abl_dag");
+  bool smoke = false;
+  for (auto it = args.positional.begin(); it != args.positional.end();) {
+    if (*it == "--smoke") {
+      smoke = true;
+      it = args.positional.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.metrics_path == "abl_dag_trace.json") {
+    args.metrics_path = smoke ? "BENCH_dag_smoke.json" : "BENCH_dag.json";
+  }
+  const unsigned jobs =
+      static_cast<unsigned>(args.positional_double(0, smoke ? 24 : 60));
+
+  std::cout << "epi-dag policy ablation: " << jobs
+            << " stage-jobs/point, seed 42, all-pipeline traffic\n\n";
+  util::Table t({"policy", "graphs", "done", "g/Mcyc", "e2e p50", "e2e p99",
+                 "overlap", "scratch B", "dram B", "util %"});
+
+  util::BenchReport report("abl_dag");
+  bool ok = true;
+  std::unique_ptr<host::System> traced_sys;  // kept alive for finish_bench
+  double serial_tput = 0.0, piped_tput = 0.0;
+  sim::Cycles piped_p50 = 0, dram_p50 = 0;
+  for (const Policy& p : kPolicies) {
+    // Tracing is only attached to the fully-enabled policy: one timeline of
+    // the regime of record, instead of three files overwriting one another.
+    const bool trace_this = args.tracing() && std::string(p.name) == "piped";
+    auto sys = std::make_unique<host::System>();
+    if (trace_this) sys->machine().enable_tracing();
+    PointResult pr = run_policy(*sys, p, jobs);
+    if (trace_this) traced_sys = std::move(sys);
+    if (smoke) {
+      host::System sys2;
+      const PointResult again = run_policy(sys2, p, jobs);
+      if (again.event_log != pr.event_log) {
+        std::fprintf(stderr,
+                     "abl_dag: FAIL: scheduler event order diverged between "
+                     "two identical runs under policy %s\n",
+                     p.name);
+        ok = false;
+      }
+    }
+    const sched::RunStats& rs = pr.stats;
+    t.add_row({p.name, std::to_string(rs.graphs),
+               std::to_string(rs.graphs_completed),
+               util::fmt(rs.graph_throughput, 3),
+               std::to_string(rs.graph_e2e_p50),
+               std::to_string(rs.graph_e2e_p99), util::fmt(rs.stage_overlap, 2),
+               std::to_string(rs.handoff_scratch_bytes),
+               std::to_string(rs.handoff_dram_bytes),
+               util::fmt(100 * rs.utilisation, 1)});
+
+    const std::string pfx = std::string(p.name) + "_";
+    report.metric(pfx + "graphs", rs.graphs);
+    report.metric(pfx + "graphs_completed", rs.graphs_completed);
+    report.metric(pfx + "graph_throughput_per_mcycle", rs.graph_throughput);
+    report.metric(pfx + "e2e_p50_cycles", static_cast<double>(rs.graph_e2e_p50));
+    report.metric(pfx + "e2e_p99_cycles", static_cast<double>(rs.graph_e2e_p99));
+    report.metric(pfx + "stage_overlap", rs.stage_overlap);
+    report.metric(pfx + "handoff_scratch_bytes",
+                  static_cast<double>(rs.handoff_scratch_bytes));
+    report.metric(pfx + "handoff_dram_bytes",
+                  static_cast<double>(rs.handoff_dram_bytes));
+    report.metric(pfx + "makespan_cycles", static_cast<double>(rs.makespan));
+    report.metric(pfx + "utilisation", rs.utilisation);
+
+    if (std::string(p.name) == "serial") serial_tput = rs.graph_throughput;
+    if (std::string(p.name) == "piped") {
+      piped_tput = rs.graph_throughput;
+      piped_p50 = rs.graph_e2e_p50;
+    }
+    if (std::string(p.name) == "dram") dram_p50 = rs.graph_e2e_p50;
+    if (rs.graphs_completed != rs.graphs) {
+      std::fprintf(stderr, "abl_dag: FAIL: policy %s completed %u/%u graphs\n",
+                   p.name, rs.graphs_completed, rs.graphs);
+      ok = false;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(e2e = first stage arrival -> last stage finish per graph; "
+               "cycles at 600 MHz)\n";
+
+  // The two claims of record: overlap buys end-to-end throughput, and the
+  // scratchpad handoff path buys latency over the DRAM spill. Checked here
+  // so a policy regression fails the bench itself, not just the JSON diff.
+  if (piped_tput <= serial_tput) {
+    std::fprintf(stderr,
+                 "abl_dag: FAIL: pipelined throughput %.3f g/Mcyc does not "
+                 "beat serialized %.3f\n",
+                 piped_tput, serial_tput);
+    ok = false;
+  }
+  if (piped_p50 >= dram_p50) {
+    std::fprintf(stderr,
+                 "abl_dag: FAIL: scratchpad-handoff e2e p50 %llu does not "
+                 "beat DRAM-handoff %llu\n",
+                 static_cast<unsigned long long>(piped_p50),
+                 static_cast<unsigned long long>(dram_p50));
+    ok = false;
+  }
+
+  util::finish_bench(args, traced_sys ? traced_sys->machine().tracer() : nullptr,
+                     report);
+
+  if (smoke && !args.metrics_path.empty()) {
+    // Schema check: the metrics file must carry the headline metrics for
+    // every policy, under the bench's own name.
+    std::ifstream in(args.metrics_path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    if (json.find("\"bench\":\"abl_dag\"") == std::string::npos) {
+      std::fprintf(stderr, "abl_dag: FAIL: %s missing bench name\n",
+                   args.metrics_path.c_str());
+      ok = false;
+    }
+    for (const Policy& p : kPolicies) {
+      for (const char* key :
+           {"graph_throughput_per_mcycle", "e2e_p50_cycles", "stage_overlap",
+            "handoff_scratch_bytes", "handoff_dram_bytes"}) {
+        const std::string want =
+            "\"" + std::string(p.name) + "_" + key + "\":";
+        if (json.find(want) == std::string::npos) {
+          std::fprintf(stderr, "abl_dag: FAIL: %s missing metric %s\n",
+                       args.metrics_path.c_str(), want.c_str());
+          ok = false;
+        }
+      }
+    }
+    std::cout << (ok ? "\nsmoke: PASS (bit-identical event order across "
+                       "reruns; metrics schema valid; policy ordering holds)\n"
+                     : "\nsmoke: FAIL\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #   * abl_sched    -> BENCH_sched.json   (serving throughput/latency sweep)
 #   * abl_faults   -> BENCH_faults.json  (goodput/detection under injected faults)
 #   * abl_shmem    -> BENCH_shmem.json   (PGAS put/get/barrier/reduce sweep)
+#   * abl_dag      -> BENCH_dag.json     (pipeline overlap/handoff policy ablation)
 # all written at the repository root. Run from anywhere:
 #
 #     scripts/bench.sh [extra google-benchmark args...]
@@ -19,7 +20,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== Release build =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j "${JOBS}" --target abl_simperf abl_sched abl_faults abl_shmem
+cmake --build build-release -j "${JOBS}" --target abl_simperf abl_sched abl_faults abl_shmem abl_dag
 
 echo "== abl_simperf (results -> BENCH_simperf.json) =="
 # Debian's libbenchmark is packaged with an unset build type, so the library
@@ -47,3 +48,8 @@ echo "== abl_shmem (results -> BENCH_shmem.json) =="
 ./build-release/bench/abl_shmem --metrics=BENCH_shmem.json
 
 echo "Wrote $(pwd)/BENCH_shmem.json"
+
+echo "== abl_dag (results -> BENCH_dag.json) =="
+./build-release/bench/abl_dag --metrics=BENCH_dag.json
+
+echo "Wrote $(pwd)/BENCH_dag.json"

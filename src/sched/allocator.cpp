@@ -1,6 +1,7 @@
 #include "sched/allocator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -10,6 +11,7 @@ MeshAllocator::MeshAllocator(arch::MeshDims dims)
     : dims_(dims),
       used_(dims.core_count(), 0),
       quarantined_(dims.core_count(), 0),
+      last_seq_(dims.core_count(), 0),
       free_(dims.core_count()) {}
 
 bool MeshAllocator::rect_free(unsigned r0, unsigned c0, unsigned rows,
@@ -43,6 +45,15 @@ void MeshAllocator::mark(unsigned r0, unsigned c0, unsigned rows, unsigned cols,
   }
 }
 
+void MeshAllocator::stamp(unsigned r0, unsigned c0, unsigned rows, unsigned cols) {
+  ++seq_;
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      last_seq_[(r0 + r) * dims_.cols + (c0 + c)] = seq_;
+    }
+  }
+}
+
 std::optional<Placement> MeshAllocator::place(unsigned rows, unsigned cols,
                                               bool allow_rotate) {
   if (rows == 0 || cols == 0) return std::nullopt;
@@ -53,11 +64,54 @@ std::optional<Placement> MeshAllocator::place(unsigned rows, unsigned cols,
       for (unsigned c0 = 0; c0 + pc <= dims_.cols; ++c0) {
         if (rect_free(r0, c0, pr, pc)) {
           mark(r0, c0, pr, pc, true);
+          stamp(r0, c0, pr, pc);
           return Placement{{r0, c0}, pr, pc, rotated};
         }
       }
     }
     return std::nullopt;
+  };
+  if (auto p = try_shape(rows, cols, false)) return p;
+  if (allow_rotate && rows != cols) {
+    if (auto p = try_shape(cols, rows, true)) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<Placement> MeshAllocator::place_near(
+    unsigned rows, unsigned cols, bool allow_rotate,
+    const std::vector<Placement>& anchors) {
+  if (anchors.empty()) return place(rows, cols, allow_rotate);
+  if (rows == 0 || cols == 0) return std::nullopt;
+  // Scored exhaustive scan per orientation. Centres are doubled so the score
+  // stays integral (a rect's centre sits on half-grid coordinates).
+  const auto try_shape = [&](unsigned pr, unsigned pc,
+                             bool rotated) -> std::optional<Placement> {
+    if (pr > dims_.rows || pc > dims_.cols || pr * pc > free_) return std::nullopt;
+    long best = -1;
+    unsigned br = 0, bc = 0;
+    for (unsigned r0 = 0; r0 + pr <= dims_.rows; ++r0) {
+      for (unsigned c0 = 0; c0 + pc <= dims_.cols; ++c0) {
+        if (!rect_free(r0, c0, pr, pc)) continue;
+        long score = 0;
+        const long cr = 2l * r0 + pr - 1;
+        const long cc = 2l * c0 + pc - 1;
+        for (const Placement& a : anchors) {
+          const long ar = 2l * a.origin.row + a.rows - 1;
+          const long ac = 2l * a.origin.col + a.cols - 1;
+          score += std::abs(cr - ar) + std::abs(cc - ac);
+        }
+        if (best < 0 || score < best) {
+          best = score;
+          br = r0;
+          bc = c0;
+        }
+      }
+    }
+    if (best < 0) return std::nullopt;
+    mark(br, bc, pr, pc, true);
+    stamp(br, bc, pr, pc);
+    return Placement{{br, bc}, pr, pc, rotated};
   };
   if (auto p = try_shape(rows, cols, false)) return p;
   if (allow_rotate && rows != cols) {

@@ -42,6 +42,18 @@ public:
   [[nodiscard]] std::optional<Placement> place(unsigned rows, unsigned cols,
                                                bool allow_rotate = true);
 
+  /// Locality-aware variant for pipeline co-placement: among every origin
+  /// where the shape fits, pick the one minimising the summed Manhattan
+  /// distance between rectangle centres and the `anchors`' centres (the
+  /// completed producer stages), first-fit order breaking ties. Tries the
+  /// requested orientation exhaustively before the rotated one, and succeeds
+  /// whenever place() would (same fit test, different tie-break), so
+  /// co-placement can never deadlock an admission plain first-fit would
+  /// serve. Empty `anchors` delegates to place() verbatim.
+  [[nodiscard]] std::optional<Placement> place_near(
+      unsigned rows, unsigned cols, bool allow_rotate,
+      const std::vector<Placement>& anchors);
+
   /// Return a placement's cores to the free pool. Double-free (or freeing
   /// cells never placed) is a logic error and throws.
   void free(const Placement& p);
@@ -74,6 +86,20 @@ public:
   /// scatter into unusable slivers.
   [[nodiscard]] double fragmentation() const noexcept;
 
+  // ---- placement epochs ----------------------------------------------------
+  // Every successful placement gets a monotonically increasing sequence
+  // number, stamped on its cells. The scheduler uses the stamps to decide
+  // whether a completed producer's (freed) rectangle still holds its tensor
+  // bytes: scratchpad-to-scratchpad handoff is valid only while no *other*
+  // placement has touched those cells since the producer ran.
+
+  /// Sequence number of the most recent successful placement (0 before any).
+  [[nodiscard]] std::uint64_t last_place_seq() const noexcept { return seq_; }
+  /// Sequence of the last placement that covered cell (r, c); 0 if never.
+  [[nodiscard]] std::uint64_t cell_seq(unsigned r, unsigned c) const noexcept {
+    return last_seq_[r * dims_.cols + c];
+  }
+
 private:
   [[nodiscard]] bool rect_free(unsigned r0, unsigned c0, unsigned rows,
                                unsigned cols) const noexcept;
@@ -81,12 +107,15 @@ private:
 
   [[nodiscard]] bool rect_healthy(unsigned r0, unsigned c0, unsigned rows,
                                   unsigned cols) const noexcept;
+  void stamp(unsigned r0, unsigned c0, unsigned rows, unsigned cols);
 
   arch::MeshDims dims_;
   std::vector<std::uint8_t> used_;         // row-major occupancy
   std::vector<std::uint8_t> quarantined_;  // row-major; subset of used_
+  std::vector<std::uint64_t> last_seq_;    // row-major placement epochs
   unsigned free_;
   unsigned quarantined_count_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 }  // namespace epi::sched

@@ -1,6 +1,7 @@
 #include "sched/cluster.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -119,11 +120,27 @@ void ClusterScheduler::route_streams() {
     // Routing draws come from their own stream so adding a routing decision
     // never perturbs the job shapes/SLOs drawn above.
     sim::Rng route(cfg_.traffic.seed ^ (0x9e3779b97f4a7c15ull * (c + 1)));
+    std::map<std::uint32_t, unsigned> graph_home;  // whole graph, one chip
     for (JobSpec& s : jobs) {
       s.id = c * 100'000u + s.id;  // cluster-unique ids (tie-break key)
+      for (auto& dep : s.deps) dep.first += c * 100'000u;
+      if (s.graph != 0) s.graph += c * 100'000u;
       s.origin_chip = c;
       s.home_chip = c;
-      if (k > 1 && route.next_float() < cfg_.remote_frac) {
+      if (s.graph != 0) {
+        // Every stage of a graph runs on the same home chip (the stages
+        // share scratchpad/DRAM handoffs); one routing draw per graph, at
+        // its first stage.
+        auto it = graph_home.find(s.graph);
+        if (it == graph_home.end()) {
+          unsigned home = c;
+          if (k > 1 && route.next_float() < cfg_.remote_frac) {
+            home = (c + 1 + static_cast<unsigned>(route.next_below(k - 1))) % k;
+          }
+          it = graph_home.emplace(s.graph, home).first;
+        }
+        s.home_chip = it->second;
+      } else if (k > 1 && route.next_float() < cfg_.remote_frac) {
         s.home_chip =
             (c + 1 + static_cast<unsigned>(route.next_below(k - 1))) % k;
       }

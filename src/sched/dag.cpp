@@ -1,0 +1,230 @@
+#include "sched/dag.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "dma/descriptor.hpp"
+#include "util/fmt.hpp"
+
+namespace epi::sched {
+
+namespace {
+
+using arch::Addr;
+
+/// Per-core share of a tensor split across the group, rounded up to keep
+/// every DMA chunk 8-byte aligned (edge bytes are 512-aligned by draw and
+/// validation, so shares never straddle an element).
+std::uint32_t core_share(std::uint32_t bytes, unsigned cores) {
+  const std::uint32_t share = (bytes + cores - 1) / std::max(1u, cores);
+  return (share + 7u) & ~7u;
+}
+
+/// Consumer-side pull of this core's share of one in-edge, in 2 KB chunks on
+/// DMA channel 0 (channel 1 belongs to the shmem runtime). Scratch transport
+/// reads the producer core's staging window over the mesh (the DMA channel's
+/// OnChip route, reserving the path like any chained-descriptor transfer);
+/// DRAM transport reads the spill buffer over the eLink (FromExternal route).
+sim::Op<void> pull_tensor(device::CoreCtx& ctx, const HandoffPull& p) {
+  const unsigned cores = ctx.group_rows() * ctx.group_cols();
+  const std::uint32_t share = core_share(p.bytes, cores);
+  const std::uint32_t lo = ctx.group_index() * share;
+  if (lo >= p.bytes) co_return;
+  const std::uint32_t mine = std::min(share, p.bytes - lo);
+  const unsigned pcores = std::max(1u, p.producer.size());
+  const unsigned pi = ctx.group_index() % pcores;
+  const arch::CoreCoord src_core{p.producer.origin.row + pi / p.producer.cols,
+                                 p.producer.origin.col + pi % p.producer.cols};
+  for (std::uint32_t off = 0; off < mine; off += kDagChunk) {
+    const std::uint32_t chunk = std::min(kDagChunk, mine - off);
+    const Addr stage_off = kDagStaging + off % kDagStagingWrap;
+    const Addr dst = ctx.my_global(stage_off);
+    const Addr src = p.scratch ? ctx.global(src_core, stage_off)
+                               : p.dram_base + lo + off;
+    const auto d = dma::DmaDescriptor::linear(dst, src, chunk);
+    co_await ctx.dma_set_desc();
+    co_await ctx.dma_start(0, d);
+    co_await ctx.dma_wait(0);
+  }
+}
+
+/// Producer-side spill of this core's share of one out-edge to its DRAM
+/// buffer, in 2 KB eLink write transactions (the Table II/III pattern, so
+/// concurrent stages genuinely fight for the off-chip link).
+sim::Op<void> spill_tensor(device::CoreCtx& ctx, const HandoffSpill& s) {
+  const unsigned cores = ctx.group_rows() * ctx.group_cols();
+  const std::uint32_t share = core_share(s.bytes, cores);
+  const std::uint32_t lo = ctx.group_index() * share;
+  if (lo >= s.bytes) co_return;
+  const std::uint32_t mine = std::min(share, s.bytes - lo);
+  for (std::uint32_t off = 0; off < mine; off += kDagChunk) {
+    const std::uint32_t chunk = std::min(kDagChunk, mine - off);
+    co_await ctx.external_write_block(s.dram_base + lo + off,
+                                      ctx.my_global(kDagStaging + off % kDagStagingWrap),
+                                      chunk);
+  }
+}
+
+struct StageWrap {
+  device::KernelFn inner;
+  std::vector<HandoffPull> pulls;
+  std::vector<HandoffSpill> spills;
+};
+
+sim::Op<void> stage_kernel(device::CoreCtx& ctx, std::shared_ptr<StageWrap> w) {
+  for (const HandoffPull& p : w->pulls) co_await pull_tensor(ctx, p);
+  co_await w->inner(ctx);
+  for (const HandoffSpill& s : w->spills) co_await spill_tensor(ctx, s);
+}
+
+}  // namespace
+
+void validate_graph(const JobGraph& g) {
+  if (g.id == 0) throw std::invalid_argument("JobGraph::id must be nonzero");
+  if (g.stages.empty()) throw std::invalid_argument("JobGraph has no stages");
+  if (g.stages.size() > 8) {
+    throw std::invalid_argument("JobGraph exceeds 8 stages");
+  }
+  for (const StageSpec& st : g.stages) {
+    if (st.rows == 0 || st.cols == 0) {
+      throw std::invalid_argument("JobGraph stage shape must be at least 1x1");
+    }
+    if (st.kind == JobKind::Custom) {
+      throw std::invalid_argument(
+          "JobGraph stages cannot be Custom (graphs carry no inline programs)");
+    }
+  }
+  for (const TensorEdge& e : g.edges) {
+    if (e.to >= g.stages.size() || e.from >= e.to) {
+      throw std::invalid_argument(util::format(
+          "JobGraph edge %u->%u is not forward-directed within %zu stages",
+          e.from, e.to, g.stages.size()));
+    }
+    if (e.bytes == 0) throw std::invalid_argument("JobGraph edge carries 0 bytes");
+  }
+}
+
+std::vector<JobSpec> expand_graph(const JobGraph& g, std::uint32_t first_job_id) {
+  validate_graph(g);
+  std::vector<JobSpec> out;
+  out.reserve(g.stages.size());
+  for (unsigned i = 0; i < g.stages.size(); ++i) {
+    const StageSpec& st = g.stages[i];
+    JobSpec s;
+    s.id = first_job_id + i;
+    s.tenant = g.tenant;
+    s.kind = st.kind;
+    s.rows = st.rows;
+    s.cols = st.cols;
+    s.iters = st.iters;
+    s.block = st.block;
+    s.priority = g.priority;
+    s.arrival = g.arrival;
+    s.timeout = g.timeout;
+    s.graph = g.id;
+    s.stage = i;
+    s.graph_stages = static_cast<unsigned>(g.stages.size());
+    out.push_back(std::move(s));
+  }
+  std::vector<char> has_out(g.stages.size(), 0);
+  for (const TensorEdge& e : g.edges) {
+    out[e.to].deps.emplace_back(first_job_id + e.from, e.bytes);
+    has_out[e.from] = 1;
+  }
+  // The chain deadline binds the sink stages: the request is served when its
+  // last tensors land, not when some interior stage retires.
+  if (g.deadline != 0) {
+    for (unsigned i = 0; i < g.stages.size(); ++i) {
+      if (!has_out[i]) out[i].deadline = g.deadline;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Tensor bytes a stage produces per out-edge: its cores' block tiles,
+/// clamped and 512-aligned so every per-core DMA share stays 8-aligned.
+std::uint32_t edge_bytes(const StageSpec& s) {
+  std::uint64_t b = static_cast<std::uint64_t>(s.rows) * s.cols * s.block *
+                    s.block * sizeof(float);
+  b = std::clamp<std::uint64_t>(b, 512, 32768);
+  return static_cast<std::uint32_t>((b + 511u) & ~std::uint64_t{511});
+}
+
+StageSpec draw_stage(sim::Rng& rng, JobKind kind) {
+  // Small shapes only: pipelines stress co-placement and handoff, and small
+  // rectangles leave the allocator room to put consumers next to producers.
+  constexpr unsigned kShapes[][2] = {{1, 2}, {2, 2}, {2, 4}};
+  const auto& sh = kShapes[rng.next_below(3)];
+  StageSpec st;
+  st.kind = kind;
+  st.rows = sh[0];
+  st.cols = sh[1];
+  st.iters = 1 + static_cast<unsigned>(rng.next_below(2));
+  switch (kind) {
+    case JobKind::Matmul: st.block = 8u << rng.next_below(2); break;   // 8/16
+    case JobKind::Stencil: st.block = 8 + 4 * static_cast<unsigned>(rng.next_below(3)); break;
+    case JobKind::Offload: st.block = 16u << rng.next_below(2); break; // 16/32
+    default: st.block = 16; break;
+  }
+  return st;
+}
+
+}  // namespace
+
+JobGraph draw_pipeline(sim::Rng& rng, unsigned max_stages) {
+  // Template library. Index order is load-bearing for the rng stream: the
+  // two-stage chains come first so a 2-stage budget draws from a prefix.
+  //   0: offload -> matmul              (preprocess, then dense compute)
+  //   1: matmul -> offload              (compute, then stream results out)
+  //   2: offload -> stencil -> offload  (in, iterate, out)
+  //   3: offload -> {matmul, stencil}   (fork: one input feeds two consumers)
+  const unsigned templates = max_stages >= 3 ? 4u : 2u;
+  const unsigned t = static_cast<unsigned>(rng.next_below(templates));
+  JobGraph g;
+  switch (t) {
+    case 0:
+      g.stages = {draw_stage(rng, JobKind::Offload), draw_stage(rng, JobKind::Matmul)};
+      break;
+    case 1:
+      g.stages = {draw_stage(rng, JobKind::Matmul), draw_stage(rng, JobKind::Offload)};
+      break;
+    case 2:
+      g.stages = {draw_stage(rng, JobKind::Offload), draw_stage(rng, JobKind::Stencil),
+                  draw_stage(rng, JobKind::Offload)};
+      break;
+    default:
+      g.stages = {draw_stage(rng, JobKind::Offload), draw_stage(rng, JobKind::Matmul),
+                  draw_stage(rng, JobKind::Stencil)};
+      break;
+  }
+  if (t == 3) {
+    g.edges = {{0, 1, edge_bytes(g.stages[0])}, {0, 2, edge_bytes(g.stages[0])}};
+  } else {
+    for (unsigned i = 0; i + 1 < g.stages.size(); ++i) {
+      g.edges.push_back({i, i + 1, edge_bytes(g.stages[i])});
+    }
+  }
+  return g;
+}
+
+bool rects_adjacent(const Placement& a, const Placement& b) noexcept {
+  const bool rows_touch = a.origin.row <= b.origin.row + b.rows &&
+                          b.origin.row <= a.origin.row + a.rows;
+  const bool cols_touch = a.origin.col <= b.origin.col + b.cols &&
+                          b.origin.col <= a.origin.col + a.cols;
+  return rows_touch && cols_touch;
+}
+
+device::KernelFn wrap_stage_kernel(device::KernelFn inner,
+                                   std::vector<HandoffPull> pulls,
+                                   std::vector<HandoffSpill> spills) {
+  auto w = std::make_shared<StageWrap>(
+      StageWrap{std::move(inner), std::move(pulls), std::move(spills)});
+  return [w](device::CoreCtx& ctx) -> sim::Op<void> { return stage_kernel(ctx, w); };
+}
+
+}  // namespace epi::sched

@@ -1,0 +1,133 @@
+#pragma once
+// epi-dag: job-graph scheduling -- multi-kernel pipelines for epi-serve.
+//
+// Real accelerator traffic is not independent kernel launches: one request is
+// a *chain* of kernels with producer->consumer tensors between the stages
+// (SET, ISCA 2023, schedules exactly such layer graphs across tiled meshes
+// with inter-layer buffer/bandwidth cost models). A JobGraph packages that
+// shape for the serving runtime: every stage is an existing sched::JobKind,
+// and every edge carries the tensor bytes handed from producer to consumer.
+//
+// The scheduler consumes graphs as ordinary JobSpecs (expand_graph) tagged
+// with graph/stage/deps fields, and gains three behaviours on top:
+//
+//   * co-placement   -- MeshAllocator::place_near scores candidate rectangles
+//     by Manhattan distance to the completed producers' rectangles, so a
+//     consumer lands next to the data it is about to pull;
+//   * tensor handoff -- producers spill each out-edge to a shared-DRAM buffer
+//     (the default transport); a consumer placed adjacent to its producer
+//     pulls scratchpad-to-scratchpad over the mesh instead (the same chained
+//     DMA path epi-shmem's put_with_signal rides), skipping the eLink;
+//   * stage overlap  -- stage N+1 of request k runs while stage N of request
+//     k+1 runs; SchedConfig::pipeline_overlap=false serialises whole graphs
+//     for the abl_dag baseline comparison.
+//
+// The handoff staging window lives at [kDagStaging, kDagStagingEnd) in each
+// core's scratchpad -- inside the region the serving kernels treat as their
+// (modelled) code bank, above the runtime-reserved words and below every
+// kernel's data layout (stencil flags at 0x2600+, matmul blocks at 0x4000+,
+// the shmem heap at 0x2000+ is re-initialised by its Group constructor at
+// launch, after the pulls of the *previous* occupant are long finished).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/address_map.hpp"
+#include "device/core_ctx.hpp"
+#include "sched/allocator.hpp"
+#include "sched/job.hpp"
+#include "sim/random.hpp"
+
+namespace epi::sched {
+
+/// Handoff staging window in every core's scratchpad (bytes pulled from a
+/// producer land here; bytes spilled to DRAM stream from here). Chunk offsets
+/// wrap modulo kDagStagingWrap so chunk ends stay below kDagStagingEnd.
+inline constexpr arch::Addr kDagStaging = 0x0200;
+inline constexpr arch::Addr kDagStagingEnd = 0x2000;
+inline constexpr std::uint32_t kDagChunk = 0x0800;       // 2 KB per transfer
+inline constexpr std::uint32_t kDagStagingWrap = 0x1000;
+
+/// A producer->consumer tensor between two stages (requires from < to, which
+/// makes every valid graph acyclic by construction).
+struct TensorEdge {
+  unsigned from = 0;
+  unsigned to = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// One stage of a pipeline: an existing serving kernel plus its shape/work
+/// parameters (the JobSpec fields that are per-stage, not per-request).
+struct StageSpec {
+  JobKind kind = JobKind::Offload;
+  unsigned rows = 1;
+  unsigned cols = 1;
+  unsigned iters = 1;
+  unsigned block = 16;
+};
+
+/// A multi-kernel serving request: stages wired by tensor edges, sharing one
+/// arrival/priority/SLO envelope. `deadline` applies to the sink stages (the
+/// whole chain must finish by it); `timeout` guards every stage's queue wait.
+struct JobGraph {
+  std::uint32_t id = 0;  // nonzero; 0 marks a standalone JobSpec
+  std::string tenant = "default";
+  unsigned priority = 0;
+  sim::Cycles arrival = 0;
+  sim::Cycles deadline = 0;
+  sim::Cycles timeout = 0;
+  std::vector<StageSpec> stages;
+  std::vector<TensorEdge> edges;
+};
+
+/// Throws std::invalid_argument when the graph is malformed (zero id, empty
+/// or oversized stage list, Custom stages, edges out of range or not
+/// forward-directed, zero-byte tensors).
+void validate_graph(const JobGraph& g);
+
+/// Expand a validated graph into per-stage JobSpecs with consecutive ids
+/// starting at `first_job_id`, graph/stage/deps fields filled from the edges.
+[[nodiscard]] std::vector<JobSpec> expand_graph(const JobGraph& g,
+                                                std::uint32_t first_job_id);
+
+/// Draw a pipeline from the template library (linear offload/matmul/stencil
+/// chains plus one fork), at most `max_stages` stages. Stages/edges only;
+/// identity and SLO fields are the caller's to fill. Deterministic function
+/// of the rng stream.
+[[nodiscard]] JobGraph draw_pipeline(sim::Rng& rng, unsigned max_stages = 3);
+
+/// Whether two granted rectangles touch or overlap (zero row gap AND zero
+/// column gap) -- the adjacency test for scratchpad-to-scratchpad handoff.
+[[nodiscard]] bool rects_adjacent(const Placement& a, const Placement& b) noexcept;
+
+// ---- stage kernels ---------------------------------------------------------
+// A stage kernel is the stage's ordinary serving kernel wrapped between a
+// pull prologue (consumer side: fetch each in-edge's tensor share) and a
+// spill epilogue (producer side: stream each out-edge to its DRAM buffer).
+// The wrapper adds no barriers: each core's pulls cover its own share, so
+// the inner kernel's own synchronisation is undisturbed.
+
+/// One in-edge to pull before the inner kernel runs. When `scratch` is set
+/// the bytes come core-to-core over the mesh from the producer's (freed but
+/// unreused -- the scheduler checks placement epochs) rectangle; otherwise
+/// from the producer's DRAM spill buffer over the eLink.
+struct HandoffPull {
+  bool scratch = false;
+  device::GroupInfo producer{};  // producer's granted rectangle
+  arch::Addr dram_base = 0;      // producer's spill buffer for this edge
+  std::uint32_t bytes = 0;
+};
+
+/// One out-edge to spill after the inner kernel finishes.
+struct HandoffSpill {
+  arch::Addr dram_base = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// Wrap a stage's kernel with its pulls and spills.
+[[nodiscard]] device::KernelFn wrap_stage_kernel(device::KernelFn inner,
+                                                 std::vector<HandoffPull> pulls,
+                                                 std::vector<HandoffSpill> spills);
+
+}  // namespace epi::sched

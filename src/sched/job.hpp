@@ -88,6 +88,16 @@ struct JobSpec {
   /// serialized transfer plus flight latency later.
   unsigned home_chip = 0;
   unsigned origin_chip = 0;
+  /// Pipeline (job-graph) tags, all zero/empty for standalone jobs. Stages
+  /// expanded from one sched::JobGraph share a nonzero `graph` id and know
+  /// the graph's total stage count; `deps` lists (producer job id, tensor
+  /// bytes) per in-edge. The scheduler launches a stage only once every
+  /// producer completed, co-places it near them, and pulls each tensor
+  /// through DRAM or scratchpad-to-scratchpad at launch (sched/dag.hpp).
+  std::uint32_t graph = 0;
+  unsigned stage = 0;
+  unsigned graph_stages = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> deps;
   /// Custom jobs only: (name, assembly source) per core -- one program
   /// replicates SPMD-style across the group, otherwise exactly rows*cols in
   /// row-major order. Verified by the admission-time lint gate (addresses

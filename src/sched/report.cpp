@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 #include "util/fmt.hpp"
@@ -26,6 +27,13 @@ RunStats summarise(const Scheduler& sched) {
   std::map<std::string, TenantStats> tenants;  // ordered: deterministic output
   std::map<std::string, std::vector<sim::Cycles>> tenant_waits, tenant_tats;
   std::vector<sim::Cycles> waits, tats;
+  struct GraphAgg {
+    sim::Cycles first_arrival = std::numeric_limits<sim::Cycles>::max();
+    sim::Cycles last_finish = 0;
+    double service_sum = 0.0;
+    bool all_completed = true;
+  };
+  std::map<std::uint32_t, GraphAgg> graph_aggs;  // ordered: deterministic
 
   for (const JobRecord& rec : sched.records()) {
     ++rs.jobs;
@@ -38,6 +46,16 @@ RunStats summarise(const Scheduler& sched) {
     }
     if (rec.recovery == Recovery::Retried) ++rs.retried;
     if (rec.recovery == Recovery::Relocated) ++rs.relocated;
+    if (rec.spec.graph != 0) {
+      GraphAgg& ga = graph_aggs[rec.spec.graph];
+      ga.first_arrival = std::min(ga.first_arrival, rec.spec.arrival);
+      if (rec.verdict == Verdict::Completed) {
+        ga.last_finish = std::max(ga.last_finish, rec.finished);
+        ga.service_sum += static_cast<double>(rec.service());
+      } else {
+        ga.all_completed = false;
+      }
+    }
     switch (rec.verdict) {
       case Verdict::Completed:
         ++rs.completed;
@@ -58,6 +76,28 @@ RunStats summarise(const Scheduler& sched) {
 
   rs.faults_detected = static_cast<unsigned>(sched.fault_log().size());
   rs.cores_quarantined = sched.allocator().quarantined_cores();
+  rs.graphs = static_cast<unsigned>(graph_aggs.size());
+  rs.handoff_scratch_bytes = sched.handoff_scratch_bytes();
+  rs.handoff_dram_bytes = sched.handoff_dram_bytes();
+  std::vector<sim::Cycles> e2es;
+  double overlap_sum = 0.0;
+  for (const auto& [gid, ga] : graph_aggs) {
+    (void)gid;
+    if (!ga.all_completed || ga.last_finish < ga.first_arrival) continue;
+    ++rs.graphs_completed;
+    const sim::Cycles e2e = ga.last_finish - ga.first_arrival;
+    e2es.push_back(e2e);
+    if (e2e > 0) overlap_sum += ga.service_sum / static_cast<double>(e2e);
+  }
+  rs.graph_e2e_p50 = percentile(e2es, 50.0);
+  rs.graph_e2e_p99 = percentile(std::move(e2es), 99.0);
+  if (rs.graphs_completed > 0) {
+    rs.stage_overlap = overlap_sum / rs.graphs_completed;
+  }
+  if (rs.makespan > 0) {
+    rs.graph_throughput = static_cast<double>(rs.graphs_completed) /
+                          (static_cast<double>(rs.makespan) / 1e6);
+  }
   rs.wait_p50 = percentile(waits, 50.0);
   rs.wait_p99 = percentile(waits, 99.0);
   rs.turnaround_p50 = percentile(tats, 50.0);
@@ -109,6 +149,22 @@ std::string render_report(const Scheduler& sched) {
                       sched.allocator().fragmentation(),
                       sched.allocator().free_cores());
 
+  if (rs.graphs > 0) {
+    out += "\n-- pipelines --\n";
+    out += util::format(
+        "graphs %u | completed %u | e2e p50/p99 %llu/%llu | graphs/Mcycle "
+        "%.3f\n",
+        rs.graphs, rs.graphs_completed,
+        static_cast<unsigned long long>(rs.graph_e2e_p50),
+        static_cast<unsigned long long>(rs.graph_e2e_p99),
+        rs.graph_throughput);
+    out += util::format(
+        "stage overlap %.2fx | handoff scratch %llu B dram %llu B\n",
+        rs.stage_overlap,
+        static_cast<unsigned long long>(rs.handoff_scratch_bytes),
+        static_cast<unsigned long long>(rs.handoff_dram_bytes));
+  }
+
   out += "\n-- tenants --\n";
   for (const TenantStats& ts : rs.tenants) {
     out += util::format(
@@ -139,6 +195,9 @@ std::string render_report(const Scheduler& sched) {
       if (rec.recovery == Recovery::Relocated) out += " relocated";
     } else if (!rec.detail.empty()) {
       out += " | " + rec.detail;
+    }
+    if (rec.spec.graph != 0) {
+      out += util::format(" | graph %u stage %u", rec.spec.graph, rec.spec.stage);
     }
     out += "\n";
   }

@@ -50,6 +50,20 @@ struct RunStats {
   unsigned relocated = 0;      // completed after re-execution elsewhere
   unsigned faults_detected = 0;      // FaultReports raised during the run
   unsigned cores_quarantined = 0;    // cores retired by the watchdog
+  // Pipeline (job-graph) aggregates -- all zero when the stream carries no
+  // graphs, and then absent from the rendered report (pre-pipeline report
+  // bytes must not change).
+  unsigned graphs = 0;               // distinct graph ids in the stream
+  unsigned graphs_completed = 0;     // graphs whose every stage completed
+  sim::Cycles graph_e2e_p50 = 0;     // first-arrival -> last-finish, completed
+  sim::Cycles graph_e2e_p99 = 0;
+  double graph_throughput = 0.0;     // completed graphs per Mcycle
+  double stage_overlap = 0.0;        // mean sum(stage service)/e2e, completed
+                                     // graphs (>1 needs concurrent stages of
+                                     // the same graph; pipelining across
+                                     // requests shows up in throughput)
+  std::uint64_t handoff_scratch_bytes = 0;  // consumer pulls by transport
+  std::uint64_t handoff_dram_bytes = 0;
   std::vector<TenantStats> tenants;  // sorted by tenant name
 };
 

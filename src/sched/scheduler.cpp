@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "lint/workgroup.hpp"
+#include "sched/dag.hpp"
 #include "sched/kernels.hpp"
 #include "trace/tracer.hpp"
 #include "util/fmt.hpp"
@@ -55,6 +56,9 @@ void Scheduler::define_counters() {
   g_quarantined_ = counters_->define("sched.cores.quarantined", K::Gauge);
   c_lint_rejects_ = counters_->define("sched.lint.rejects", K::Monotonic);
   c_lint_warnings_ = counters_->define("sched.lint.warnings", K::Monotonic);
+  c_handoff_scratch_ =
+      counters_->define("sched.dag.handoff.scratch_bytes", K::Monotonic);
+  c_handoff_dram_ = counters_->define("sched.dag.handoff.dram_bytes", K::Monotonic);
 }
 
 void Scheduler::bump(trace::Counters::Id id, double delta) {
@@ -86,6 +90,35 @@ void Scheduler::submit(JobSpec spec) {
   JobRecord rec;
   rec.spec = std::move(spec);
   records_.push_back(std::move(rec));
+  register_graph(static_cast<std::uint32_t>(records_.size() - 1));
+}
+
+/// Track a graph stage's record; once the whole graph is here, wire the
+/// producer->consumer edges both ways. Stages may not launch before the
+/// graph is wired (dag_launchable): a producer started earlier would have no
+/// spill plan for consumers the cluster bridge has not delivered yet.
+void Scheduler::register_graph(std::uint32_t rec_idx) {
+  const JobSpec& spec = records_[rec_idx].spec;
+  if (spec.graph == 0) return;
+  id_to_rec_[spec.id] = rec_idx;
+  GraphState& gs = graphs_[spec.graph];
+  gs.recs.push_back(rec_idx);
+  ++gs.unresolved;
+  if (spec.graph_stages == 0 || gs.recs.size() < spec.graph_stages) return;
+  gs.wired = true;
+  for (const std::uint32_t r : gs.recs) dag_[r];  // ensure every stage's entry
+  for (const std::uint32_t r : gs.recs) {
+    for (const auto& [dep_id, bytes] : records_[r].spec.deps) {
+      const auto it = id_to_rec_.find(dep_id);
+      if (it == id_to_rec_.end() ||
+          records_[it->second].spec.graph != spec.graph) {
+        dag_[r].broken = true;  // malformed workload: fails at drop_orphaned
+        continue;
+      }
+      dag_[r].dep_recs.emplace_back(it->second, bytes);
+      dag_[it->second].outs.emplace_back(r, bytes);
+    }
+  }
 }
 
 double Scheduler::effective_priority(const Pending& p, sim::Cycles now) const {
@@ -101,6 +134,12 @@ void Scheduler::resolve(JobRecord& rec, Verdict v, sim::Cycles now,
   rec.detail = std::move(detail);
   if (rec.finished == 0 && v != Verdict::Completed) rec.finished = now;
   ++resolved_;
+  if (rec.spec.graph != 0) {
+    if (const auto it = graphs_.find(rec.spec.graph);
+        it != graphs_.end() && it->second.unresolved > 0) {
+      --it->second.unresolved;
+    }
+  }
   makespan_ = std::max(makespan_, v == Verdict::Completed ? rec.finished : now);
   switch (v) {
     case Verdict::Completed:
@@ -280,6 +319,15 @@ bool Scheduler::reap_completed(sim::Cycles now) {
                            : Recovery::Relocated;
         bump(tenant_counter(rec.spec.tenant, to_string(rec.recovery)), 1.0);
       }
+      if (rec.spec.graph != 0) {
+        // Consumers launched after this point may pull straight from the
+        // stage's scratchpads (if the rect survives untouched) or from its
+        // DRAM spill buffers.
+        DagInfo& di = dag_[run.rec];
+        di.done_place = run.placement;
+        di.place_seq = run.place_seq;
+        di.has_result = true;
+      }
       resolve(rec, Verdict::Completed, now, "");
       log_event(util::format(
           "@%llu finish job=%u cycles=%llu deadline=%s frag=%.3f%s%s",
@@ -450,11 +498,126 @@ bool Scheduler::drop_timed_out(sim::Cycles now) {
   return progress;
 }
 
+std::uint32_t Scheduler::min_unresolved_graph() const {
+  for (const auto& [gid, gs] : graphs_) {
+    if (gs.unresolved > 0) return gid;
+  }
+  return 0;
+}
+
+/// Whether a pending record's pipeline dependencies allow launching now:
+/// graph fully submitted (wired), every producer completed with a usable
+/// result, and -- with pipeline_overlap off -- its graph is the oldest one
+/// still unresolved (whole-graph serialisation, the abl_dag baseline).
+/// Standalone jobs are always launchable.
+bool Scheduler::dag_launchable(std::uint32_t rec_idx) const {
+  const JobRecord& rec = records_[rec_idx];
+  if (rec.spec.graph == 0) return true;
+  const auto git = graphs_.find(rec.spec.graph);
+  if (git == graphs_.end() || !git->second.wired) return false;
+  if (!cfg_.pipeline_overlap && rec.spec.graph != min_unresolved_graph()) {
+    return false;
+  }
+  const auto dit = dag_.find(rec_idx);
+  if (dit == dag_.end()) return true;
+  if (dit->second.broken) return false;
+  for (const auto& [producer, bytes] : dit->second.dep_recs) {
+    (void)bytes;
+    if (records_[producer].verdict != Verdict::Completed) return false;
+    const auto pit = dag_.find(producer);
+    if (pit == dag_.end() || !pit->second.has_result) return false;
+  }
+  return true;
+}
+
+/// A stage whose producer reached a non-Completed terminal verdict can never
+/// run: fail it now (cascading down the chain on later passes) instead of
+/// letting it camp in the queue until its timeout.
+bool Scheduler::drop_orphaned(sim::Cycles now) {
+  bool progress = false;
+  for (std::size_t i = 0; i < pending_.size();) {
+    JobRecord& rec = records_[pending_[i].rec];
+    if (rec.spec.graph == 0) {
+      ++i;
+      continue;
+    }
+    const auto git = graphs_.find(rec.spec.graph);
+    const auto dit = dag_.find(pending_[i].rec);
+    bool orphan = false;
+    std::uint32_t upstream = 0;
+    if (git != graphs_.end() && git->second.wired && dit != dag_.end()) {
+      if (dit->second.broken) {
+        orphan = true;
+      } else {
+        for (const auto& [producer, bytes] : dit->second.dep_recs) {
+          (void)bytes;
+          const Verdict v = records_[producer].verdict;
+          if (v == Verdict::Rejected || v == Verdict::TimedOut ||
+              v == Verdict::Failed) {
+            orphan = true;
+            upstream = records_[producer].spec.id;
+            break;
+          }
+        }
+      }
+    }
+    if (!orphan) {
+      ++i;
+      continue;
+    }
+    progress = true;
+    resolve(rec, Verdict::Failed, now,
+            dit->second.broken
+                ? "pipeline stage has an unresolvable dependency"
+                : util::format("upstream stage (job %u) failed", upstream));
+    log_event(util::format("@%llu fail job=%u reason=upstream-failed",
+                           static_cast<unsigned long long>(now), rec.spec.id));
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    gauge(g_queue_depth_, static_cast<double>(pending_.size()));
+  }
+  return progress;
+}
+
+/// Scratchpad handoff is only sound while the producer's freed rectangle
+/// still holds its staging bytes: every cell must carry either the
+/// producer's own placement epoch or the consumer's brand-new one (the
+/// consumer overlapping its producer's old cells is fine -- nothing scrubs
+/// the staging window between jobs).
+bool Scheduler::handoff_epoch_valid(const Placement& producer,
+                                    std::uint64_t producer_seq,
+                                    std::uint64_t self_seq) const {
+  for (unsigned r = 0; r < producer.rows; ++r) {
+    for (unsigned c = 0; c < producer.cols; ++c) {
+      const std::uint64_t s =
+          alloc_.cell_seq(producer.origin.row + r, producer.origin.col + c);
+      if (s != producer_seq && s != self_seq) return false;
+    }
+  }
+  return true;
+}
+
 bool Scheduler::launch(Pending& p, sim::Cycles now) {
   JobRecord& rec = records_[p.rec];
   const JobSpec& spec = rec.spec;
-  auto placement = alloc_.place(spec.rows, spec.cols, cfg_.allow_rotate);
+  // Co-placement: anchor a pipeline stage next to its completed producers'
+  // rectangles so the scratchpad handoff path (adjacent rects) can trigger.
+  // Standalone jobs pass no anchors, which is exactly first-fit place().
+  std::vector<Placement> anchors;
+  if (spec.graph != 0) {
+    if (const auto dit = dag_.find(p.rec); dit != dag_.end()) {
+      for (const auto& [producer, bytes] : dit->second.dep_recs) {
+        (void)bytes;
+        if (const auto pit = dag_.find(producer);
+            pit != dag_.end() && pit->second.has_result) {
+          anchors.push_back(pit->second.done_place);
+        }
+      }
+    }
+  }
+  auto placement =
+      alloc_.place_near(spec.rows, spec.cols, cfg_.allow_rotate, anchors);
   if (!placement) return false;
+  const std::uint64_t myseq = alloc_.last_place_seq();
 
   ++rec.attempts;
   if (rec.attempts <= spec.launch_failures) {
@@ -484,6 +647,8 @@ bool Scheduler::launch(Pending& p, sim::Cycles now) {
 
   std::optional<host::Workgroup> wg;
   arch::Addr shm_base = 0;
+  std::vector<HandoffPull> pulls;
+  std::vector<HandoffSpill> spills;
   try {
     wg.emplace(sys_->open(placement->origin.row, placement->origin.col,
                           placement->rows, placement->cols));
@@ -491,7 +656,47 @@ bool Scheduler::launch(Pending& p, sim::Cycles now) {
     if (const std::size_t shm = job_shm_bytes(spec); shm > 0) {
       shm_base = sys_->shm_alloc(shm);
     }
-    wg->load(prepare_job(*sys_, *wg, spec, shm_base));
+    if (spec.graph != 0) {
+      if (const auto dit = dag_.find(p.rec); dit != dag_.end()) {
+        DagInfo& di = dit->second;
+        // In-edges: pull each producer's tensor. Scratch-to-scratch over the
+        // mesh when the rects are adjacent and the producer's cells still
+        // hold its staging bytes; otherwise read back the DRAM spill buffer.
+        for (const auto& [producer, bytes] : di.dep_recs) {
+          const DagInfo& pd = dag_.at(producer);
+          std::size_t out = 0;
+          while (out < pd.outs.size() && pd.outs[out].first != p.rec) ++out;
+          if (out >= pd.out_bases.size()) {
+            throw std::logic_error("pipeline producer has no spill buffer");
+          }
+          const bool scratch = cfg_.scratch_handoff &&
+                               rects_adjacent(*placement, pd.done_place) &&
+                               handoff_epoch_valid(pd.done_place, pd.place_seq,
+                                                   myseq);
+          pulls.push_back(HandoffPull{
+              scratch,
+              device::GroupInfo{{pd.done_place.origin.row,
+                                 pd.done_place.origin.col},
+                                pd.done_place.rows, pd.done_place.cols},
+              pd.out_bases[out], bytes});
+        }
+        // Out-edges: this stage always spills each tensor to its own DRAM
+        // buffer -- consumer adjacency is unknowable until the consumer is
+        // placed, and a re-execution must not reuse a half-written buffer.
+        di.out_bases.clear();
+        for (const auto& [consumer, bytes] : di.outs) {
+          (void)consumer;
+          const arch::Addr base = sys_->shm_alloc(bytes);
+          di.out_bases.push_back(base);
+          spills.push_back(HandoffSpill{base, bytes});
+        }
+      }
+    }
+    device::KernelFn kernel = prepare_job(*sys_, *wg, spec, shm_base);
+    if (!pulls.empty() || !spills.empty()) {
+      kernel = wrap_stage_kernel(std::move(kernel), pulls, spills);
+    }
+    wg->load(std::move(kernel));
     // Fault runs seed offload inputs with a known pattern so reap-time
     // result validation can tell corrupted output from correct output.
     if (auto* inj = sys_->machine().faults(); inj != nullptr && inj->armed()) {
@@ -523,7 +728,8 @@ bool Scheduler::launch(Pending& p, sim::Cycles now) {
 
   auto& slot = running_.emplace_back(
       Running{p.rec, *placement,
-              std::make_unique<host::Workgroup>(std::move(*wg)), shm_base});
+              std::make_unique<host::Workgroup>(std::move(*wg)), shm_base,
+              myseq});
   // start() only after the Workgroup reached its stable heap address: the
   // kernel coroutines capture pointers into it.
   slot.wg->start();
@@ -536,6 +742,19 @@ bool Scheduler::launch(Pending& p, sim::Cycles now) {
       rec.placed_col, rec.granted_rows, rec.granted_cols,
       placement->rotated ? " rotated" : "",
       static_cast<unsigned long long>(rec.queue_wait()), alloc_.fragmentation()));
+  for (const HandoffPull& h : pulls) {
+    if (h.scratch) {
+      handoff_scratch_bytes_ += h.bytes;
+      bump(c_handoff_scratch_, static_cast<double>(h.bytes));
+    } else {
+      handoff_dram_bytes_ += h.bytes;
+      bump(c_handoff_dram_, static_cast<double>(h.bytes));
+    }
+    log_event(util::format(
+        "@%llu handoff job=%u from=(%u,%u) bytes=%u transport=%s",
+        static_cast<unsigned long long>(now), spec.id, h.producer.origin.row,
+        h.producer.origin.col, h.bytes, h.scratch ? "scratch" : "dram"));
+  }
   return true;
 }
 
@@ -555,6 +774,7 @@ void Scheduler::try_place(sim::Cycles now) {
     Pending& p = pending_[order[k]];
     JobRecord& rec = records_[p.rec];
     if (p.retry_at > now) continue;  // still backing off
+    if (!dag_launchable(p.rec)) continue;  // producers not finished yet
     if (launch(p, now)) {
       launched.push_back(order[k]);
       continue;
@@ -627,7 +847,13 @@ void Scheduler::run_window(sim::Cycles limit) {
       progress = reap_completed(now) || progress;
       progress = check_watchdogs(now) || progress;
       progress = drop_timed_out(now) || progress;
+      progress = drop_orphaned(now) || progress;
+      const std::size_t before = resolved_;
       try_place(now);
+      // A terminal verdict inside try_place (launch failed/errored out) may
+      // orphan queued consumer stages; sweep again so they cannot stall the
+      // run waiting on a producer that will never exist.
+      if (resolved_ != before) progress = drop_orphaned(now) || progress;
     }
     if (resolved_ >= records_.size()) break;
     if (eng.step_below(limit)) continue;
@@ -670,6 +896,7 @@ void Scheduler::submit_remote(JobSpec spec) {
   JobRecord rec;
   rec.spec = std::move(spec);
   records_.push_back(std::move(rec));
+  register_graph(idx);
   // Keep the unconsumed arrival tail sorted by (arrival, id). The delivery
   // time is >= now, and every consumed arrival is <= now, so the insertion
   // point can never fall before next_arrival_.

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,6 +81,16 @@ struct SchedConfig {
   unsigned max_reexecutions = 2;       // full re-runs after a detected fault
   LintMode lint = LintMode::Off;       // admission-time verification of
                                        // Custom jobs' programs
+  // ---- pipeline (job-graph) policy, sched/dag.hpp --------------------------
+  bool scratch_handoff = true;   // pull tensors scratchpad-to-scratchpad over
+                                 // the mesh when producer and consumer are
+                                 // adjacent (and the producer's cells are
+                                 // untouched); false forces every handoff
+                                 // through the DRAM spill buffer
+  bool pipeline_overlap = true;  // admit stages of different graphs
+                                 // concurrently (stage pipelining); false
+                                 // serialises whole graphs in id order, the
+                                 // abl_dag baseline
 };
 
 class Scheduler {
@@ -162,6 +173,15 @@ public:
   /// Peak number of workgroups resident at once during the run.
   [[nodiscard]] unsigned peak_resident() const noexcept { return peak_resident_; }
 
+  /// Tensor-handoff bytes pulled by consumer stages, by transport (the
+  /// report's pipeline section; also counted on sched.dag.handoff.*).
+  [[nodiscard]] std::uint64_t handoff_scratch_bytes() const noexcept {
+    return handoff_scratch_bytes_;
+  }
+  [[nodiscard]] std::uint64_t handoff_dram_bytes() const noexcept {
+    return handoff_dram_bytes_;
+  }
+
 private:
   struct Pending {
     std::uint32_t rec;        // index into records_
@@ -173,6 +193,25 @@ private:
     Placement placement;
     std::unique_ptr<host::Workgroup> wg;  // stable address: kernels point in
     arch::Addr shm_base = 0;              // job's DRAM region (result checks)
+    std::uint64_t place_seq = 0;          // allocator epoch of this placement
+  };
+  /// Per-record pipeline wiring, populated once every stage of the record's
+  /// graph has been submitted (graphs arrive whole in single-chip runs, but
+  /// cluster forwards stagger stage delivery; launching a producer before its
+  /// consumers are wired would lose the out-edge spill plan).
+  struct DagInfo {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> dep_recs;  // (producer rec, bytes)
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> outs;      // (consumer rec, bytes)
+    std::vector<arch::Addr> out_bases;  // spill buffers, one per out, set at launch
+    Placement done_place{};             // granted rectangle at completion
+    std::uint64_t place_seq = 0;        // allocator epoch of that placement
+    bool has_result = false;            // completed; done_place/place_seq valid
+    bool broken = false;                // dep id unresolvable: fail at admission
+  };
+  struct GraphState {
+    std::vector<std::uint32_t> recs;  // record indices, submission order
+    unsigned unresolved = 0;
+    bool wired = false;
   };
 
   void log_event(const std::string& line);
@@ -189,6 +228,13 @@ private:
   void resolve(JobRecord& rec, Verdict v, sim::Cycles now, std::string detail);
   [[nodiscard]] sim::Cycles next_wakeup(sim::Cycles now) const;
   bool check_watchdogs(sim::Cycles now);
+  void register_graph(std::uint32_t rec_idx);
+  [[nodiscard]] bool dag_launchable(std::uint32_t rec_idx) const;
+  [[nodiscard]] std::uint32_t min_unresolved_graph() const;
+  bool drop_orphaned(sim::Cycles now);
+  [[nodiscard]] bool handoff_epoch_valid(const Placement& producer,
+                                         std::uint64_t producer_seq,
+                                         std::uint64_t self_seq) const;
   void requeue_or_fail(std::uint32_t rec_idx, sim::Cycles now, const char* why);
   void drop_unsatisfiable(sim::Cycles now);
   void report_fault(sim::Cycles now, sim::Cycles since, const JobRecord& rec,
@@ -214,6 +260,14 @@ private:
   std::vector<std::unique_ptr<host::Workgroup>> graveyard_;
   std::vector<fault::FaultReport> fault_log_;
   std::vector<std::string> log_;
+  // Pipeline state: graph wiring by graph id, per-record dag info (graph
+  // records only), and job-id -> record lookups for dep resolution. Ordered
+  // maps: min_unresolved_graph() and iteration must be deterministic.
+  std::map<std::uint32_t, GraphState> graphs_;
+  std::map<std::uint32_t, DagInfo> dag_;          // keyed by record index
+  std::map<std::uint32_t, std::uint32_t> id_to_rec_;
+  std::uint64_t handoff_scratch_bytes_ = 0;
+  std::uint64_t handoff_dram_bytes_ = 0;
   std::size_t resolved_ = 0;
   std::function<void(const JobRecord&, sim::Cycles)> resolve_hook_;
   sim::Cycles makespan_ = 0;
@@ -228,7 +282,8 @@ private:
   trace::Counters::Id c_submitted_, c_admitted_, c_rejected_, c_completed_,
       c_timedout_, c_failed_, c_launch_failures_, c_retries_, c_busy_cycles_,
       g_queue_depth_, g_running_, g_cores_busy_, c_faults_, c_reexecs_,
-      g_quarantined_, c_lint_rejects_, c_lint_warnings_;
+      g_quarantined_, c_lint_rejects_, c_lint_warnings_, c_handoff_scratch_,
+      c_handoff_dram_;
 };
 
 }  // namespace epi::sched

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sched/dag.hpp"
 #include "sim/random.hpp"
 #include "util/fmt.hpp"
 
@@ -55,9 +56,35 @@ std::vector<JobSpec> generate(const TrafficConfig& cfg) {
   std::vector<JobSpec> jobs;
   jobs.reserve(cfg.jobs);
   sim::Cycles t = 0;
-  for (unsigned i = 0; i < cfg.jobs; ++i) {
+  std::uint32_t next_graph = 1;
+  while (jobs.size() < cfg.jobs) {
+    // Pipeline requests ride the same budget: each graph emits one JobSpec
+    // per stage. Every draw below is guarded by pipeline_frac > 0 so a
+    // frac-0 config replays the pre-pipeline rng stream byte-identically.
+    const unsigned remaining = cfg.jobs - static_cast<unsigned>(jobs.size());
+    if (cfg.pipeline_frac > 0 && remaining >= 2 &&
+        rng.next_float() < cfg.pipeline_frac) {
+      JobGraph g = draw_pipeline(rng, remaining >= 3 ? 3 : 2);
+      g.id = next_graph++;
+      g.tenant = cfg.tenants[rng.next_below(cfg.tenants.size())];
+      g.priority = static_cast<unsigned>(rng.next_below(4));
+      if (cfg.mean_interarrival > 0 && !jobs.empty()) {
+        t += cfg.mean_interarrival / 2 + rng.next_below(cfg.mean_interarrival);
+      }
+      g.arrival = t;
+      if (rng.next_float() < cfg.deadline_prob) {
+        // Whole-chain SLO: the budget scales with the stage count, since the
+        // stages run back to back at best.
+        g.deadline = t + 2'000'000ull * g.stages.size() + rng.next_below(2'000'000);
+      }
+      g.timeout = cfg.timeout;
+      for (JobSpec& s : expand_graph(g, static_cast<std::uint32_t>(jobs.size()))) {
+        jobs.push_back(std::move(s));
+      }
+      continue;
+    }
     JobSpec s;
-    s.id = i;
+    s.id = static_cast<std::uint32_t>(jobs.size());
     s.tenant = cfg.tenants[rng.next_below(cfg.tenants.size())];
     s.kind = kKinds[weighted_draw(rng, kind_weights, std::size(kKinds))];
     const ShapeChoice& shape =
@@ -73,7 +100,7 @@ std::vector<JobSpec> generate(const TrafficConfig& cfg) {
     // Geometric-flavoured gap around the mean: uniform in [mean/2, 3*mean/2)
     // keeps bursts and lulls without heavy tails that would make short
     // benches unrepresentative.
-    if (cfg.mean_interarrival > 0 && i > 0) {
+    if (cfg.mean_interarrival > 0 && !jobs.empty()) {
       t += cfg.mean_interarrival / 2 + rng.next_below(cfg.mean_interarrival);
     }
     s.arrival = t;
@@ -114,6 +141,18 @@ std::string save(const std::vector<JobSpec>& jobs) {
     // workload files stay byte-identical to the pre-cluster format.
     if (s.home_chip != 0 || s.origin_chip != 0) {
       out += util::format(" home=%u origin=%u", s.home_chip, s.origin_chip);
+    }
+    // Pipeline tags, omitted for standalone jobs for the same reason.
+    if (s.graph != 0) {
+      out += util::format(" graph=%u stage=%u stages=%u", s.graph, s.stage,
+                          s.graph_stages);
+      if (!s.deps.empty()) {
+        out += " deps=";
+        for (std::size_t i = 0; i < s.deps.size(); ++i) {
+          out += util::format(i == 0 ? "%u:%u" : ",%u:%u", s.deps[i].first,
+                              s.deps[i].second);
+        }
+      }
     }
     out += "\n";
   }
@@ -163,6 +202,27 @@ std::vector<JobSpec> load(std::istream& in, const std::string& source) {
         else if (key == "failures") s.launch_failures = static_cast<unsigned>(std::stoul(val));
         else if (key == "home") s.home_chip = static_cast<unsigned>(std::stoul(val));
         else if (key == "origin") s.origin_chip = static_cast<unsigned>(std::stoul(val));
+        else if (key == "graph") s.graph = static_cast<std::uint32_t>(std::stoul(val));
+        else if (key == "stage") s.stage = static_cast<unsigned>(std::stoul(val));
+        else if (key == "stages") s.graph_stages = static_cast<unsigned>(std::stoul(val));
+        else if (key == "deps") {
+          // id:bytes pairs, comma-separated: deps=12:2048,13:4096
+          std::size_t pos = 0;
+          while (pos < val.size()) {
+            const auto comma = val.find(',', pos);
+            const std::string pair =
+                val.substr(pos, comma == std::string::npos ? comma : comma - pos);
+            const auto colon = pair.find(':');
+            if (colon == std::string::npos || colon == 0 || colon + 1 >= pair.size()) {
+              throw fail("dep '" + pair + "' is not id:bytes");
+            }
+            s.deps.emplace_back(
+                static_cast<std::uint32_t>(std::stoul(pair.substr(0, colon))),
+                static_cast<std::uint32_t>(std::stoul(pair.substr(colon + 1))));
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+          }
+        }
         else throw fail("unknown field '" + key + "'");
       } catch (const std::invalid_argument&) {
         throw fail("field '" + key + "' has non-numeric value '" + val + "'");
@@ -171,6 +231,14 @@ std::vector<JobSpec> load(std::istream& in, const std::string& source) {
       }
     }
     if (s.rows == 0 || s.cols == 0) throw fail("job shape must be at least 1x1");
+    if (s.graph != 0 && (s.graph_stages == 0 || s.stage >= s.graph_stages)) {
+      throw fail("graph job needs stage < stages (got stage=" +
+                 std::to_string(s.stage) + " stages=" +
+                 std::to_string(s.graph_stages) + ")");
+    }
+    if (s.graph == 0 && !s.deps.empty()) {
+      throw fail("deps require a nonzero graph id");
+    }
     jobs.push_back(std::move(s));
   }
   return jobs;

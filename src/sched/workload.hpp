@@ -43,6 +43,11 @@ struct TrafficConfig {
   double fail_prob = 0.10;       // chance a job gets 1-2 injected launch failures
   double deadline_prob = 0.25;   // chance a job carries a completion deadline
   sim::Cycles timeout = 3'000'000;  // queue timeout applied to every job; 0=none
+  /// Fraction of requests drawn as multi-kernel pipelines (sched/dag.hpp)
+  /// instead of standalone jobs. 0 keeps the stream byte-identical to the
+  /// pre-pipeline generator (no extra rng draws are made); each pipeline
+  /// consumes 2-3 of the `jobs` budget (one JobSpec per stage).
+  double pipeline_frac = 0.0;
   std::vector<std::string> tenants = {"alice", "bob", "carol"};
 };
 

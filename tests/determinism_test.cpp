@@ -274,6 +274,17 @@ TEST(GoldenDeterminism, ClusterServeWithFaultsParallelInvariance) {
   expect_parallel_invariant(cfg, 74659777904851189ull);
 }
 
+// Pipelined (job-graph) traffic: multi-stage requests with per-graph routing,
+// co-placement, tensor handoffs over both transports, and stage overlap --
+// the whole epi-dag story must be worker-count-invariant too.
+TEST(GoldenDeterminism, ClusterPipelineParallelInvariance) {
+  sched::ClusterConfig cfg = small_cluster();
+  cfg.traffic.jobs = 10;
+  cfg.traffic.seed = 13;
+  cfg.traffic.pipeline_frac = 0.5;
+  expect_parallel_invariant(cfg, 2654938591465841575ull);
+}
+
 // Arming empty per-chip plans hooks every layer but must not move a single
 // event: identical bytes to the no-plan run, for every worker count.
 TEST(GoldenDeterminism, ClusterServeEmptyFaultPlansAreFree) {

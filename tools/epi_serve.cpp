@@ -12,6 +12,9 @@
 //     --seed=S           traffic seed                       (default 1)
 //     --interarrival=C   mean cycles between arrivals       (default 30000)
 //     --queue=N          admission queue capacity           (default 64)
+//     --pipelines=F      fraction of generated requests drawn as multi-kernel
+//                        pipelines (job graphs with tensor handoffs between
+//                        stages; see src/sched/dag.hpp)       (default 0)
 //     --spec-out=FILE    write the workload spec that was run
 //     --report=FILE      write the run report to FILE as well as stdout
 //     --log              print the scheduler's decision log
@@ -104,6 +107,7 @@ struct Options {
   unsigned chip_rows = 0, chip_cols = 0;  // 0 = single-chip mode
   unsigned parallel = 1;
   double remote_frac = 0.25;
+  double pipelines = 0.0;
 };
 
 bool value_flag(std::string_view arg, std::string_view flag, std::string& out) {
@@ -285,6 +289,7 @@ int run_cluster(const Options& opt) {
   cc.traffic.jobs = opt.jobs;
   cc.traffic.seed = opt.seed;
   cc.traffic.mean_interarrival = opt.interarrival;
+  cc.traffic.pipeline_frac = opt.pipelines;
   cc.sched.queue_capacity = opt.queue;
   cc.sched.lint = opt.lint;
   if (opt.watchdog_set) cc.sched.watchdog_cycles = opt.watchdog;
@@ -399,6 +404,14 @@ int main(int argc, char** argv) {
       opt.remote_frac = std::stod(val);
       continue;
     }
+    if (value_flag(arg, "--pipelines", val)) {
+      opt.pipelines = std::stod(val);
+      if (opt.pipelines < 0.0 || opt.pipelines > 1.0) {
+        std::fprintf(stderr, "epi_serve: --pipelines needs a fraction in [0,1]\n");
+        return 2;
+      }
+      continue;
+    }
     if (value_flag(arg, "--asm", opt.asm_files)) continue;
     if (value_flag(arg, "--asm-shape", val)) {
       const auto x = val.find('x');
@@ -457,6 +470,7 @@ int main(int argc, char** argv) {
       tc.jobs = opt.jobs;
       tc.seed = opt.seed;
       tc.mean_interarrival = opt.interarrival;
+      tc.pipeline_frac = opt.pipelines;
       jobs = sched::generate(tc);
       std::cout << "generated " << jobs.size() << " jobs (seed " << opt.seed
                 << ", mean interarrival " << opt.interarrival << " cycles)\n\n";
