@@ -3,6 +3,8 @@
 #   * abl_simperf  -> BENCH_simperf.json (wall-clock engine throughput)
 #   * abl_sched    -> BENCH_sched.json   (serving throughput/latency sweep)
 #   * abl_faults   -> BENCH_faults.json  (goodput/detection under injected faults)
+#   * abl_cluster_faults -> BENCH_cluster_faults.json (cluster goodput/recovery
+#                           under chip crashes, link outages, lost notices)
 #   * abl_shmem    -> BENCH_shmem.json   (PGAS put/get/barrier/reduce sweep)
 #   * abl_dag      -> BENCH_dag.json     (pipeline overlap/handoff policy ablation)
 # all written at the repository root. Run from anywhere:
@@ -20,7 +22,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== Release build =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j "${JOBS}" --target abl_simperf abl_sched abl_faults abl_shmem abl_dag
+cmake --build build-release -j "${JOBS}" --target abl_simperf abl_sched abl_faults abl_cluster_faults abl_shmem abl_dag
 
 echo "== abl_simperf (results -> BENCH_simperf.json) =="
 # Debian's libbenchmark is packaged with an unset build type, so the library
@@ -43,6 +45,11 @@ echo "== abl_faults (results -> BENCH_faults.json) =="
 ./build-release/bench/abl_faults --metrics=BENCH_faults.json
 
 echo "Wrote $(pwd)/BENCH_faults.json"
+
+echo "== abl_cluster_faults (results -> BENCH_cluster_faults.json) =="
+./build-release/bench/abl_cluster_faults --metrics=BENCH_cluster_faults.json
+
+echo "Wrote $(pwd)/BENCH_cluster_faults.json"
 
 echo "== abl_shmem (results -> BENCH_shmem.json) =="
 ./build-release/bench/abl_shmem --metrics=BENCH_shmem.json

@@ -20,6 +20,12 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure -j "${JOBS}" "$@"
 
+echo "== Cluster chaos smoke (Release) =="
+# One seeded chip-level chaos serve per worker count: chip crashes, bridge
+# outages, and lost/corrupted notices must all recover (no wedged graphs,
+# zero unresolved jobs) with byte-identical reports across worker counts.
+./build-release/tools/epi_fault --chaos-smoke --chips=2x2
+
 echo "== Simulator-performance smoke (Release only) =="
 # abl_simperf must only ever run from a Release tree: the binary exits
 # non-zero when built without NDEBUG, so a mis-wired build type fails the
@@ -54,5 +60,9 @@ ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
     -R '(Parallel|Cluster|Spsc|Engine|Determinism)' "$@"
 ./build-tsan/tools/epi_serve --chips=2x2 --jobs=6 --parallel=4 --selftest \
     > /dev/null
+# And the same under chip-level chaos: the failover stack (heartbeats,
+# quarantine, re-forwarding) exchanges cross-domain messages every window,
+# so it runs under TSan at several worker counts too.
+./build-tsan/tools/epi_fault --chaos-smoke --chips=2x2 > /dev/null
 
 echo "All checks passed."

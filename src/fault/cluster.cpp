@@ -1,0 +1,190 @@
+#include "fault/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/fmt.hpp"
+
+namespace epi::fault {
+
+namespace {
+sim::Cycles window_end(sim::Cycles at, sim::Cycles duration) {
+  if (duration == 0) return kNever;
+  const sim::Cycles end = at + duration;
+  return end < at ? kNever : end;  // overflow clamps to "forever"
+}
+}  // namespace
+
+ClusterInjector::ClusterInjector(const FaultPlan& plan, unsigned chip_rows,
+                                 unsigned chip_cols)
+    : rows_(chip_rows), cols_(chip_cols), seed_(plan.seed) {
+  if (rows_ == 0 || cols_ == 0) {
+    throw FaultError("cluster injector needs a non-empty chip grid");
+  }
+  if (plan.cluster() &&
+      (plan.chip_rows != rows_ || plan.chip_cols != cols_)) {
+    throw FaultError(util::format(
+        "fault plan declares a %ux%u chip grid but the cluster is %ux%u",
+        plan.chip_rows, plan.chip_cols, rows_, cols_));
+  }
+  const arch::MeshDims grid{rows_, cols_};
+  chips_.resize(grid.core_count());
+  for (unsigned c = 0; c < chips_.size(); ++c) {
+    // Independent per-chip streams: which bit a notice flip corrupts on one
+    // chip never perturbs another chip's draws.
+    chips_[c].rng = sim::Rng(seed_ ^ (0xA24BAED4963EE407ull * (c + 1)));
+  }
+  for (const FaultEvent& e : plan.events) {
+    if (!is_chip_scoped(e.kind)) {
+      if (!grid.contains(e.chip)) {
+        throw FaultError("machine fault names a chip outside the grid");
+      }
+      machine_events_.push_back(e);
+      continue;
+    }
+    armed_ = true;
+    if (!grid.contains(e.chip) ||
+        (e.kind == FaultKind::XMeshFail && !grid.contains(e.chip2))) {
+      throw FaultError("chip fault names a chip outside the grid");
+    }
+    ChipState& st = chips_[grid.index_of(e.chip)];
+    switch (e.kind) {
+      case FaultKind::ChipCrash:
+        st.crash = std::min(st.crash, e.at);
+        break;
+      case FaultKind::ChipStall:
+        st.stalls.push_back(Window{e.at, window_end(e.at, e.duration)});
+        break;
+      case FaultKind::XMeshFail: {
+        auto& wins = outages_[{grid.index_of(e.chip), grid.index_of(e.chip2)}];
+        sim::Cycles from = e.at;
+        for (std::uint32_t i = 0; i < e.flap; ++i) {
+          wins.push_back(Window{from, window_end(from, e.duration)});
+          from += e.period;
+        }
+        break;
+      }
+      case FaultKind::NoticeDrop:
+        st.drops.push_back(Budget{e.at, window_end(e.at, e.duration), e.count});
+        break;
+      case FaultKind::NoticeFlip:
+        st.flips.push_back(Budget{e.at, window_end(e.at, e.duration), e.count});
+        break;
+      default:
+        break;
+    }
+  }
+  for (ChipState& st : chips_) {
+    std::sort(st.stalls.begin(), st.stalls.end(),
+              [](const Window& a, const Window& b) { return a.from < b.from; });
+  }
+  for (auto& [key, wins] : outages_) {
+    std::sort(wins.begin(), wins.end(),
+              [](const Window& a, const Window& b) { return a.from < b.from; });
+  }
+}
+
+FaultPlan ClusterInjector::machine_plan(unsigned chip) const {
+  const arch::MeshDims grid{rows_, cols_};
+  FaultPlan out;
+  out.seed = seed_;
+  for (const FaultEvent& e : machine_events_) {
+    if (grid.index_of(e.chip) != chip) continue;
+    FaultEvent copy = e;
+    copy.has_chip = false;  // a plain single-machine event again
+    copy.chip = {};
+    out.events.push_back(copy);
+  }
+  return out;
+}
+
+sim::Cycles ClusterInjector::crash_at(unsigned chip) const {
+  return chips_.at(chip).crash;
+}
+
+sim::Cycles ClusterInjector::host_thaw(unsigned chip, sim::Cycles now) const {
+  sim::Cycles thaw = 0;
+  for (;;) {
+    sim::Cycles next = thaw;
+    const sim::Cycles probe = std::max(now, thaw);
+    for (const Window& w : chips_.at(chip).stalls) {
+      if (w.from <= probe && probe < w.until) next = std::max(next, w.until);
+    }
+    if (next == thaw) return thaw;  // overlapping windows chain until stable
+    thaw = next;
+    if (thaw == kNever) return kNever;
+  }
+}
+
+sim::Cycles ClusterInjector::next_freeze(unsigned chip, sim::Cycles now) const {
+  sim::Cycles t = kNever;
+  for (const Window& w : chips_.at(chip).stalls) {
+    if (w.from > now) t = std::min(t, w.from);
+  }
+  return t;
+}
+
+sim::Cycles ClusterInjector::xmesh_clear(unsigned src, unsigned dst,
+                                         sim::Cycles t) const {
+  const auto it = outages_.find({src, dst});
+  if (it == outages_.end()) return t;
+  for (;;) {
+    sim::Cycles moved = t;
+    for (const Window& w : it->second) {
+      if (w.from <= moved && moved < w.until) moved = w.until;
+    }
+    if (moved == t) return t;
+    t = moved;
+    if (t == kNever) return kNever;
+  }
+}
+
+bool ClusterInjector::drop_notice(unsigned chip, sim::Cycles now) {
+  ChipState& st = chips_.at(chip);
+  for (Budget& b : st.drops) {
+    if (b.left == 0 || now < b.from || now >= b.until) continue;
+    --b.left;
+    ++st.dropped;
+    st.log.push_back(util::format(
+        "@%llu inject notice-drop chip=%u", static_cast<unsigned long long>(now),
+        chip));
+    return true;
+  }
+  return false;
+}
+
+bool ClusterInjector::flip_notice(unsigned chip, sim::Cycles now,
+                                  std::string& payload) {
+  if (payload.empty()) return false;
+  ChipState& st = chips_.at(chip);
+  for (Budget& b : st.flips) {
+    if (b.left == 0 || now < b.from || now >= b.until) continue;
+    --b.left;
+    ++st.flipped;
+    const auto byte = st.rng.next_below(payload.size());
+    const auto bit = st.rng.next_below(8);
+    payload[byte] = static_cast<char>(
+        static_cast<unsigned char>(payload[byte]) ^ (1u << bit));
+    st.log.push_back(util::format(
+        "@%llu inject notice-flip chip=%u byte=%llu bit=%llu",
+        static_cast<unsigned long long>(now), chip,
+        static_cast<unsigned long long>(byte),
+        static_cast<unsigned long long>(bit)));
+    return true;
+  }
+  return false;
+}
+
+const std::vector<std::string>& ClusterInjector::injections(
+    unsigned chip) const {
+  return chips_.at(chip).log;
+}
+
+std::uint64_t ClusterInjector::notices_dropped(unsigned chip) const {
+  return chips_.at(chip).dropped;
+}
+
+std::uint64_t ClusterInjector::notices_flipped(unsigned chip) const {
+  return chips_.at(chip).flipped;
+}
+
+}  // namespace epi::fault

@@ -25,6 +25,21 @@
 //   mem-flip region=dram at=0 for=400000 count=3
 //   mem-flip region=scratch core=1,1 at=0 for=0 count=1
 //
+// Cluster plans scope faults to whole chips of an RxC xMesh grid. The
+// `chips` directive must precede every chip-scoped directive; in a cluster
+// plan every machine-level directive must carry `chip=r,c` so the splitter
+// knows which chip's injector owns it. Any directive may carry a unique
+// `id=N` label (duplicates are a parse error):
+//
+//   chips 2x2
+//   chip-crash chip=0,1 at=500000 id=1          # chip dies, forever
+//   chip-stall chip=1,0 at=200000 for=300000    # host runtime freezes
+//   xmesh from=0,0 to=0,1 at=100000 for=50000   # directed bridge link down
+//   xmesh from=1,0 to=0,0 at=0 for=20000 flap=3 period=150000
+//   notice-drop chip=1,1 at=0 for=0 count=2     # completion notices lost
+//   notice-flip chip=1,1 at=0 for=0 count=1     # ... or CRC-corrupted
+//   kill chip=0,0 core=2,3 at=120000            # machine fault, one chip
+//
 // Parse errors carry `source:line: message` so a bad plan file points at
 // the offending line, same as the workload parser.
 
@@ -61,15 +76,28 @@ class TransferError : public FaultError {
 };
 
 enum class FaultKind : std::uint8_t {
-  KillCore,   // core stops executing at `at`, forever
-  StallCore,  // core freezes for [at, at+duration)
-  LinkFail,   // directed mesh link down for [at, at+duration) or forever
-  ElinkFail,  // whole eLink (write or read network) down likewise
-  ElinkFlip,  // next `count` eLink transfers in-window get one flipped bit
-  MemFlip,    // next `count` DRAM/scratchpad writes in-window get one flip
+  KillCore,    // core stops executing at `at`, forever
+  StallCore,   // core freezes for [at, at+duration)
+  LinkFail,    // directed mesh link down for [at, at+duration) or forever
+  ElinkFail,   // whole eLink (write or read network) down likewise
+  ElinkFlip,   // next `count` eLink transfers in-window get one flipped bit
+  MemFlip,     // next `count` DRAM/scratchpad writes in-window get one flip
+  // ---- chip-scoped (cluster) kinds, see fault/cluster.hpp ----------------
+  ChipCrash,   // the whole chip (engine + host runtime) dies at `at`
+  ChipStall,   // the chip's host runtime freezes for [at, at+duration)
+  XMeshFail,   // directed xMesh bridge link chip->chip2 down (can flap)
+  NoticeDrop,  // next `count` completion notices sent by `chip` are lost
+  NoticeFlip,  // next `count` notices get one flipped bit (CRC catches it)
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+/// Chip-scoped kinds live in the cluster injector, not a Machine's.
+[[nodiscard]] constexpr bool is_chip_scoped(FaultKind k) noexcept {
+  return k == FaultKind::ChipCrash || k == FaultKind::ChipStall ||
+         k == FaultKind::XMeshFail || k == FaultKind::NoticeDrop ||
+         k == FaultKind::NoticeFlip;
+}
 
 struct FaultEvent {
   FaultKind kind = FaultKind::KillCore;
@@ -78,16 +106,37 @@ struct FaultEvent {
   arch::CoreCoord core{};    // KillCore/StallCore; LinkFail router; MemFlip scratch target
   arch::Dir dir = arch::Dir::North;  // LinkFail: failed output direction
   std::uint8_t elink = 0;    // ElinkFail/ElinkFlip: 0 = write network, 1 = read
-  std::uint32_t count = 1;   // ElinkFlip/MemFlip: corruption budget
+  std::uint32_t count = 1;   // ElinkFlip/MemFlip/NoticeDrop/NoticeFlip budget
   bool scratch = false;      // MemFlip: scratchpad writes (else DRAM writes)
   bool core_any = true;      // MemFlip scratch: any core (else `core` only)
+  // ---- cluster fields ----------------------------------------------------
+  std::uint32_t id = 0;      // optional unique label (0 = unlabeled)
+  arch::CoreCoord chip{};    // subject chip on the chip grid; also scopes
+                             // machine-level events in a cluster plan
+  bool has_chip = false;     // machine-level event carries a chip= scope
+  arch::CoreCoord chip2{};   // XMeshFail: destination chip of the dead link
+  std::uint32_t flap = 1;    // XMeshFail: outage repetitions (1 = one window)
+  sim::Cycles period = 0;    // XMeshFail: cycles between repetition starts
 };
 
 struct FaultPlan {
   std::uint64_t seed = 1;  // drives the injector's random choices
   std::vector<FaultEvent> events;
+  // Chip grid of a cluster plan (the `chips RxC` directive); 0x0 = a plain
+  // single-machine plan.
+  unsigned chip_rows = 0;
+  unsigned chip_cols = 0;
 
   [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  [[nodiscard]] bool cluster() const noexcept {
+    return chip_rows != 0 && chip_cols != 0;
+  }
+  [[nodiscard]] bool has_chip_faults() const noexcept {
+    for (const FaultEvent& e : events) {
+      if (is_chip_scoped(e.kind)) return true;
+    }
+    return false;
+  }
 };
 
 /// Parameters for a seeded random plan. Counts are exact (generate() emits
@@ -107,6 +156,17 @@ struct ChaosConfig {
   sim::Cycles elink_outage_cycles = 20'000;
   unsigned elink_flips = 0;  // single-corruption flip events on the eLink
   unsigned mem_flips = 0;    // single-corruption DRAM write flips
+  // ---- cluster chaos (chip-scoped events; needs a chip grid) -------------
+  unsigned chip_rows = 0;    // 0x0 = single-chip plan, no chip events
+  unsigned chip_cols = 0;
+  unsigned chip_crashes = 0;
+  unsigned chip_stalls = 0;
+  sim::Cycles chip_stall_cycles = 300'000;   // mean host-freeze duration
+  unsigned xmesh_faults = 0;                 // directed bridge-link outages
+  double xmesh_flap_prob = 0.5;              // rest are single windows
+  sim::Cycles xmesh_outage_cycles = 120'000; // mean outage duration
+  unsigned notice_drops = 0;                 // lost completion notices
+  unsigned notice_flips = 0;                 // CRC-corrupted notices
 };
 
 /// Deterministically expand a ChaosConfig into a concrete plan.

@@ -9,10 +9,28 @@
 // boundary at all -- on-chip mesh/DMA/eLink traffic never does, which is
 // why it needs no synchronisation with other domains.
 
+#include <cstdint>
+#include <vector>
+
 #include "arch/coords.hpp"
 #include "sim/parallel.hpp"
 
 namespace epi::machine {
+
+/// Chip-grade health, tracked per domain by the cluster failover layer:
+/// Healthy chips take forwards; a Quarantined chip stopped answering (stale
+/// heartbeats or repeated forward timeouts) and receives no new work; a
+/// Dead chip crashed outright and its unresolved jobs were abandoned.
+enum class ChipHealth : std::uint8_t { Healthy, Quarantined, Dead };
+
+[[nodiscard]] constexpr const char* to_string(ChipHealth h) noexcept {
+  switch (h) {
+    case ChipHealth::Healthy: return "healthy";
+    case ChipHealth::Quarantined: return "quarantined";
+    case ChipHealth::Dead: return "dead";
+  }
+  return "?";
+}
 
 struct PartitionMap {
   unsigned chip_rows = 1;
@@ -56,6 +74,32 @@ struct PartitionMap {
   [[nodiscard]] bool crossing(unsigned a_row, unsigned a_col, unsigned b_row,
                               unsigned b_col) const noexcept {
     return domain_of_core(a_row, a_col) != domain_of_core(b_row, b_col);
+  }
+
+  /// Is (chip_row, chip_col) a chip of this grid? Fault-plan and forward
+  /// targets are validated against this before any routing happens.
+  [[nodiscard]] bool contains_chip(unsigned chip_row,
+                                   unsigned chip_col) const noexcept {
+    return chip_row < chip_rows && chip_col < chip_cols;
+  }
+
+  // ---- chip health (written by the failover layer; empty = all healthy).
+  // During a parallel run each domain keeps its own view of peer health
+  // (no cross-domain writes); this map is the folded post-run summary.
+  std::vector<ChipHealth> health;
+
+  void mark(sim::DomainId d, ChipHealth h) {
+    if (health.empty()) health.assign(chips(), ChipHealth::Healthy);
+    // Dead outranks Quarantined outranks Healthy: never resurrect a chip.
+    if (static_cast<std::uint8_t>(h) > static_cast<std::uint8_t>(health[d])) {
+      health[d] = h;
+    }
+  }
+  [[nodiscard]] ChipHealth health_of(sim::DomainId d) const noexcept {
+    return health.empty() ? ChipHealth::Healthy : health[d];
+  }
+  [[nodiscard]] bool usable(sim::DomainId d) const noexcept {
+    return health_of(d) == ChipHealth::Healthy;
   }
 };
 

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "arch/timing.hpp"
@@ -35,8 +36,16 @@ public:
   /// away, becoming ready at cycle `ready`. Returns the delivery cycle:
   /// egress serialization behind earlier traffic to the same destination,
   /// then per-hop flight. Never earlier than ready + min_latency().
+  /// When an outage covers `ready` the message waits for the link to clear
+  /// before serializing (see set_outage); a permanently dead link returns
+  /// sim::Engine-style "never" (~0) and accounts nothing.
   [[nodiscard]] sim::Cycles send(unsigned dst, unsigned hops, std::size_t bytes,
                                  sim::Cycles ready) {
+    if (outage_) {
+      const sim::Cycles clear = outage_(dst, ready);
+      if (clear == ~sim::Cycles{0}) return clear;  // link is down forever
+      ready = std::max(ready, clear);
+    }
     const double cycles_per_byte =
         timing_->xmesh_write_overhead / timing_->xmesh_bytes_per_cycle;
     const auto ser = static_cast<sim::Cycles>(static_cast<double>(bytes) *
@@ -64,11 +73,20 @@ public:
   [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
 
+  /// Install a fault-injection hook for this bridge's egress: `fn(dst, t)`
+  /// returns the earliest cycle >= t the link towards `dst` is up, or ~0
+  /// for a permanent outage. Unset (the default) means a healthy link; the
+  /// hook is consulted per send, so a flapping link stays seed-exact.
+  void set_outage(std::function<sim::Cycles(unsigned, sim::Cycles)> fn) {
+    outage_ = std::move(fn);
+  }
+
 private:
   const arch::TimingParams* timing_;
   std::vector<sim::Cycles> link_free_;  // per-destination egress occupancy
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::function<sim::Cycles(unsigned, sim::Cycles)> outage_;
 };
 
 }  // namespace epi::noc

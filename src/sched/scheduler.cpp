@@ -361,6 +361,19 @@ void Scheduler::report_fault(sim::Cycles now, sim::Cycles since, const JobRecord
 void Scheduler::requeue_or_fail(std::uint32_t rec_idx, sim::Cycles now,
                                 const char* why) {
   JobRecord& rec = records_[rec_idx];
+  // Deadline-aware retry budget for pipeline stages: replaying a stage whose
+  // graph deadline has already passed only burns cores its siblings need, so
+  // the stage fails now and the cascade drop cleans its consumers up.
+  if (rec.spec.graph != 0 && rec.spec.deadline != 0 && now >= rec.spec.deadline) {
+    resolve(rec, Verdict::Failed, now,
+            util::format("%s fault at cycle %llu past stage deadline %llu: "
+                      "replay abandoned",
+                      why, static_cast<unsigned long long>(now),
+                      static_cast<unsigned long long>(rec.spec.deadline)));
+    log_event(util::format("@%llu fail job=%u reason=deadline-exhausted fault=%s",
+                        static_cast<unsigned long long>(now), rec.spec.id, why));
+    return;
+  }
   if (rec.reexecs < cfg_.max_reexecutions &&
       alloc_.fits_ever(rec.spec.rows, rec.spec.cols, cfg_.allow_rotate)) {
     ++rec.reexecs;
@@ -403,6 +416,29 @@ void Scheduler::drop_unsatisfiable(sim::Cycles now) {
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
     gauge(g_queue_depth_, static_cast<double>(pending_.size()));
   }
+}
+
+std::size_t Scheduler::abandon_unresolved(sim::Cycles at,
+                                          const std::string& reason) {
+  std::size_t abandoned = 0;
+  for (Running& run : running_) {
+    run.wg.reset();  // release reservations before freeing the rectangles
+    alloc_.free(run.placement);
+  }
+  running_.clear();
+  pending_.clear();
+  next_arrival_ = arrivals_.size();
+  for (JobRecord& rec : records_) {
+    if (rec.verdict != Verdict::Pending) continue;
+    ++abandoned;
+    resolve(rec, Verdict::Failed, at, reason);
+    log_event(util::format("@%llu fail job=%u reason=chip-dead",
+                        static_cast<unsigned long long>(at), rec.spec.id));
+  }
+  gauge(g_queue_depth_, 0.0);
+  gauge(g_running_, 0.0);
+  gauge(g_cores_busy_, static_cast<double>(alloc_.used_cores()));
+  return abandoned;
 }
 
 /// Per-workgroup watchdog: a running job that has been resident past its

@@ -143,6 +143,13 @@ public:
   /// arrival stream in (arrival, id) order.
   void submit_remote(JobSpec spec);
 
+  /// Chip-death cleanup: give every still-unresolved job a Failed verdict at
+  /// cycle `at` with `reason` as the detail. The cluster executor calls this
+  /// (resolve hook cleared first -- a dead chip sends no notices) after a
+  /// chip-crash fault so accounting stays consistent without pretending the
+  /// chip kept scheduling. Returns how many jobs were abandoned.
+  std::size_t abandon_unresolved(sim::Cycles at, const std::string& reason);
+
   /// Hook invoked whenever a job reaches a terminal verdict (cluster
   /// completion notices). Called after the record is final.
   void set_resolve_hook(std::function<void(const JobRecord&, sim::Cycles)> hook) {
@@ -158,6 +165,9 @@ public:
   }
   [[nodiscard]] const MeshAllocator& allocator() const noexcept { return alloc_; }
   [[nodiscard]] trace::Counters& counters() noexcept { return *counters_; }
+  [[nodiscard]] const trace::Counters& counters() const noexcept {
+    return *counters_;
+  }
 
   /// Structured fault reports (watchdog trips, failed transfers, corrupt
   /// results): what a silent stall became instead of a DeadlockError.

@@ -203,7 +203,12 @@ void ParallelEngine::run(unsigned workers) {
     stuck.insert(stuck.end(), std::make_move_iterator(names.begin()),
                  std::make_move_iterator(names.end()));
   }
-  if (!stuck.empty()) throw DeadlockError(stuck.size(), std::move(stuck));
+  if (!stuck.empty()) {
+    // Take the count first: argument evaluation order is unspecified, so
+    // size() after the move could read an emptied vector.
+    const std::size_t n = stuck.size();
+    throw DeadlockError(n, std::move(stuck));
+  }
 }
 
 }  // namespace epi::sim

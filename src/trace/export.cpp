@@ -49,25 +49,31 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
-  os << "{\"traceEvents\":[\n";
-  bool first = true;
+namespace {
+
+/// Emit one tracer's metadata and events as Chrome process `pid`. Shared by
+/// the single-machine and the multi-chip cluster exporters; `first` tracks
+/// the comma state across processes in one traceEvents array.
+void write_process_events(std::ostream& os, const Tracer& tracer,
+                          unsigned pid, const std::string& process_name,
+                          bool& first) {
+  const std::string p = std::to_string(pid);
   const auto emit = [&](const std::string& line) {
     if (!first) os << ",\n";
     first = false;
     os << line;
   };
 
-  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
-       "\"args\":{\"name\":\"epiphany machine\"}}");
+  emit("{\"ph\":\"M\",\"pid\":" + p + ",\"name\":\"process_name\"," +
+       "\"args\":{\"name\":\"" + json_escape(process_name) + "\"}}");
 
   const auto& tracks = tracer.tracks();
   for (std::uint32_t i = 0; i < tracks.size(); ++i) {
     const std::string tid = std::to_string(i + 1);
-    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + tid +
+    emit("{\"ph\":\"M\",\"pid\":" + p + ",\"tid\":" + tid +
          ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
          json_escape(tracks[i].name) + "\"}}");
-    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + tid +
+    emit("{\"ph\":\"M\",\"pid\":" + p + ",\"tid\":" + tid +
          ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
          std::to_string(i) + "}}");
   }
@@ -77,7 +83,7 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
     const std::string ts = std::to_string(ev.t);
     switch (ev.type) {
       case Event::Type::Begin: {
-        std::string line = "{\"ph\":\"B\",\"pid\":1,\"tid\":" +
+        std::string line = "{\"ph\":\"B\",\"pid\":" + p + ",\"tid\":" +
                            std::to_string(ev.track + 1) + ",\"ts\":" + ts +
                            ",\"name\":\"" + json_escape(tracer.str(ev.name)) +
                            "\",\"cat\":\"" + to_string(ev.phase) + "\"";
@@ -98,11 +104,11 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
         break;
       }
       case Event::Type::End:
-        emit("{\"ph\":\"E\",\"pid\":1,\"tid\":" + std::to_string(ev.track + 1) +
-             ",\"ts\":" + ts + "}");
+        emit("{\"ph\":\"E\",\"pid\":" + p + ",\"tid\":" +
+             std::to_string(ev.track + 1) + ",\"ts\":" + ts + "}");
         break;
       case Event::Type::Instant: {
-        std::string line = "{\"ph\":\"i\",\"pid\":1,\"tid\":" +
+        std::string line = "{\"ph\":\"i\",\"pid\":" + p + ",\"tid\":" +
                            std::to_string(ev.track + 1) + ",\"ts\":" + ts +
                            ",\"name\":\"" + json_escape(tracer.str(ev.name)) +
                            "\",\"s\":\"t\"";
@@ -115,11 +121,30 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
         break;
       }
       case Event::Type::Counter:
-        emit("{\"ph\":\"C\",\"pid\":1,\"ts\":" + ts + ",\"name\":\"" +
+        emit("{\"ph\":\"C\",\"pid\":" + p + ",\"ts\":" + ts + ",\"name\":\"" +
              json_escape(counters.name(ev.track)) + "\",\"args\":{\"value\":" +
              format_number(ev.value) + "}}");
         break;
     }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  write_process_events(os, tracer, 1, "epiphany machine", first);
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<ChromeProcess>& processes) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::uint32_t i = 0; i < processes.size(); ++i) {
+    write_process_events(os, *processes[i].tracer, i + 1, processes[i].name,
+                         first);
   }
   os << "\n],\"displayTimeUnit\":\"ns\"}\n";
 }

@@ -15,6 +15,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace epi::trace {
 
@@ -24,6 +25,19 @@ struct ProfileReport;
 
 /// Chrome trace-event JSON ("traceEvents" array form) for the whole trace.
 void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// One Chrome process in a multi-machine (cluster) trace: the chip name
+/// becomes the process label, the tracer supplies its tracks and events.
+struct ChromeProcess {
+  std::string name;
+  const Tracer* tracer = nullptr;
+};
+
+/// Multi-process Chrome trace: one pid per entry (cluster mode exports one
+/// process per chip, so per-chip counters like sched.cluster.chipN.faults
+/// land on that chip's own counter track).
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<ChromeProcess>& processes);
 
 /// All counters as CSV: header then `name,kind,value` per counter.
 void write_counters_csv(std::ostream& os, const Counters& counters);

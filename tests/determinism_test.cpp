@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -294,6 +295,66 @@ TEST(GoldenDeterminism, ClusterServeEmptyFaultPlansAreFree) {
   EXPECT_EQ(cluster_bytes(armed, 1), ref);
   EXPECT_EQ(cluster_bytes(armed, 2), ref);
   EXPECT_EQ(cluster_bytes(armed, 4), ref);
+}
+
+// Same guarantee for the cluster-scoped plan path: a `chips 2x2` plan with
+// no events constructs the ClusterInjector but must not arm failover or
+// move a single event.
+TEST(GoldenDeterminism, ClusterServeEmptyClusterPlanIsFree) {
+  const std::string ref = cluster_bytes(small_cluster(), 1);
+  sched::ClusterConfig armed = small_cluster();
+  std::istringstream plan("seed 1\nchips 2x2\n");
+  armed.cluster_plan = fault::parse(plan, "empty");
+  EXPECT_EQ(cluster_bytes(armed, 1), ref);
+  EXPECT_EQ(cluster_bytes(armed, 2), ref);
+  EXPECT_EQ(cluster_bytes(armed, 4), ref);
+}
+
+// The failover tentpole: a chip crash mid-run plus a host stall, a flapping
+// bridge link, and dropped/corrupted completion notices. Heartbeat
+// watchdogs, quarantine, and re-forwarding all fire, and the complete
+// recovery transcript (report with health footer, recovery decisions,
+// cluster fault lines, per-chip decision/fault/notice logs) must be
+// byte-identical for every worker count.
+TEST(GoldenDeterminism, ClusterChipCrashFailoverParallelInvariance) {
+  sched::ClusterConfig cfg = small_cluster();
+  cfg.traffic.jobs = 10;
+  cfg.traffic.pipeline_frac = 0.4;  // wedge-prone multi-stage graphs
+  cfg.remote_frac = 0.4;
+  std::istringstream plan(
+      "seed 3\n"
+      "chips 2x2\n"
+      "chip-crash chip=0,1 at=400000\n"
+      "chip-stall chip=1,0 at=200000 for=250000\n"
+      "xmesh from=0,0 to=1,1 at=100000 for=120000 flap=2 period=400000\n"
+      "notice-drop chip=1,0 at=0 for=0 count=1\n"
+      "notice-flip chip=1,1 at=0 for=0 count=1\n");
+  cfg.cluster_plan = fault::parse(plan, "crash");
+
+  // Failover semantics first: the run terminates (no wedged graphs), the
+  // dead chip is marked, orphans were re-homed, and every record carries a
+  // terminal verdict.
+  sched::ClusterScheduler cs(cfg);
+  cs.run(4);
+  EXPECT_TRUE(cs.failover_armed());
+  EXPECT_EQ(cs.stats().dead_chips, 1u);
+  EXPECT_GT(cs.stats().reforwarded, 0u);
+  EXPECT_EQ(cs.partition().health_of(1), machine::ChipHealth::Dead);
+  unsigned completed_elsewhere = 0;
+  for (unsigned c = 0; c < cs.stats().chips; ++c) {
+    for (const auto& rec : cs.chip_sched(c).records()) {
+      EXPECT_NE(rec.verdict, sched::Verdict::Pending);
+      // Re-homed work completing on a healthy chip: a completed record on a
+      // live chip whose spec originated elsewhere.
+      if (c != 1 && rec.verdict == sched::Verdict::Completed &&
+          rec.spec.origin_chip != c) {
+        ++completed_elsewhere;
+      }
+    }
+  }
+  EXPECT_GT(completed_elsewhere, 0u);
+
+  expect_parallel_invariant(cfg, 12557027773043665117ull);
 }
 
 }  // namespace

@@ -14,6 +14,11 @@
 //     --elink-flips=N --mem-flips=N  bit corruptions              (default 1/1)
 //     --horizon=C                    faults land in [0, C)        (default 1000000)
 //     --out=FILE                     write the plan to FILE
+//     --chips=RxC                    emit a cluster plan (`chips RxC` header;
+//                                    machine faults get chip= scopes)
+//     --chip-crashes=N --chip-stalls=N   chip-scoped faults       (default 0/0)
+//     --xmesh=N                      bridge-link outages (some flapping)
+//     --notice-drops=N --notice-flips=N  completion-notice faults (default 0/0)
 //
 //   epi_fault run --plan=FILE [options]   serve a workload under the plan
 //     --jobs=N --seed=S --interarrival=C  traffic (defaults 40 / 7 / 30000)
@@ -27,6 +32,14 @@
 //                              faults, eLink corruption): must complete,
 //                              quarantine the dead core, validate surviving
 //                              results, and replay byte-identically
+//   epi_fault --chaos-smoke --chips=RxC
+//                              cluster chaos smoke: an RxC chip grid served
+//                              under chip crashes/stalls, bridge-link
+//                              outages and notice faults; every job must
+//                              reach a verdict (no wedged graphs), orphaned
+//                              forwards must be re-homed, and the cluster
+//                              report must be byte-identical across
+//                              --parallel={1,2,4}
 //
 // Exit status: 0 on success / all checks pass, 1 otherwise.
 
@@ -41,6 +54,7 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "host/system.hpp"
+#include "sched/cluster.hpp"
 #include "sched/report.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workload.hpp"
@@ -158,6 +172,39 @@ int selftest() {
   check(parse_fails_at("seed banana\n", 1), "parse: non-numeric seed rejected",
         failures);
 
+  // Cluster grammar: a generated cluster plan round-trips, and the parser
+  // rejects the chip-scoped mistakes with file:line: diagnostics.
+  fault::ChaosConfig cl;
+  cl.seed = 5;
+  cl.dims = {8, 8};
+  cl.chip_rows = 2;
+  cl.chip_cols = 2;
+  cl.core_kills = 1;  // chip-tagged machine fault
+  cl.chip_crashes = 1;
+  cl.chip_stalls = 1;
+  cl.xmesh_faults = 2;
+  cl.notice_drops = 1;
+  cl.notice_flips = 1;
+  const std::string ct = fault::save(fault::generate(cl));
+  std::istringstream cin2(ct);
+  check(fault::save(fault::parse(cin2, "cluster")) == ct,
+        "cluster plan: save/parse round-trip", failures);
+  check(parse_fails_at("chips 2x2\n"
+                       "chip-crash chip=0,0 at=10 id=3\n"
+                       "chip-stall chip=0,1 at=20 for=50 id=3\n",
+                       3),
+        "parse: duplicate fault id rejected", failures);
+  check(parse_fails_at("chips 2x2\nchip-crash chip=2,0 at=10\n", 2),
+        "parse: out-of-range chip coordinate rejected", failures);
+  check(parse_fails_at("chips 2x2\nxmesh from=0,1 to=3,3 at=5 for=100\n", 2),
+        "parse: out-of-range xmesh endpoint rejected", failures);
+  check(parse_fails_at("chips 2x2\nxmesh from=0,0 to=0,0 at=5 for=100\n", 2),
+        "parse: xmesh self-link rejected", failures);
+  check(parse_fails_at("chip-stall chip=0,0 at=5 for=100\n", 1),
+        "parse: chip fault without a chips directive rejected", failures);
+  check(parse_fails_at("seed 1\nchips 2x2\nchips 2x2\n", 3),
+        "parse: duplicate chips directive rejected", failures);
+
   // Empty-plan equivalence: arming an injector with no events must leave a
   // serving run byte-identical to one with no injector at all.
   const fault::FaultPlan empty;
@@ -223,6 +270,85 @@ int chaos_smoke() {
   return failures == 0 ? 0 : 1;
 }
 
+/// Cluster chaos smoke: an RxC chip grid served under every chip-scoped
+/// fault kind at once. The failover acceptance criteria in one binary: no
+/// wedged jobs or graphs, orphaned forwards re-homed onto healthy chips,
+/// and the full recovery transcript byte-identical across worker counts.
+int cluster_chaos_smoke(unsigned rows, unsigned cols) {
+  int failures = 0;
+
+  fault::ChaosConfig cc;
+  cc.seed = 11;
+  cc.dims = {8, 8};
+  cc.horizon = 900'000;
+  cc.chip_rows = rows;
+  cc.chip_cols = cols;
+  cc.chip_crashes = 1;
+  cc.chip_stalls = 1;
+  cc.xmesh_faults = 2;
+  cc.notice_drops = 2;
+  cc.notice_flips = 1;
+  const fault::FaultPlan plan = fault::generate(cc);
+
+  sched::ClusterConfig conf;
+  conf.chip_rows = rows;
+  conf.chip_cols = cols;
+  conf.traffic.jobs = 18;
+  conf.traffic.seed = 7;
+  conf.traffic.mean_interarrival = 40'000;
+  conf.traffic.pipeline_frac = 0.3;  // graphs exercise DAG-aware recovery
+  conf.remote_frac = 0.35;
+  conf.sched.watchdog_cycles = 400'000;
+  conf.cluster_plan = plan;
+
+  struct Run {
+    std::string report;
+    sched::ClusterStats stats;
+    unsigned unresolved = 0;
+  };
+  const auto serve_cluster = [&conf](unsigned workers) {
+    sched::ClusterScheduler cs(conf);
+    cs.run(workers);
+    Run out;
+    out.report = cs.report();
+    out.stats = cs.stats();
+    for (unsigned c = 0; c < cs.stats().chips; ++c) {
+      for (const auto& rec : cs.chip_sched(c).records()) {
+        if (rec.verdict == sched::Verdict::Pending) ++out.unresolved;
+      }
+    }
+    return out;
+  };
+
+  const Run first = serve_cluster(4);
+  check(first.unresolved == 0, "cluster chaos: no wedged jobs or graphs",
+        failures);
+  check(first.stats.dead_chips >= 1, "cluster chaos: a chip crashed mid-run",
+        failures);
+  check(first.stats.reforwarded > 0,
+        "cluster chaos: orphaned forwards were re-homed", failures);
+  check(first.stats.quarantines > 0,
+        "cluster chaos: the sick chip was quarantined", failures);
+  for (const unsigned w : {1u, 2u}) {
+    const Run again = serve_cluster(w);
+    check(again.report == first.report,
+          w == 1 ? "cluster chaos: --parallel=1 replays the same bytes"
+                 : "cluster chaos: --parallel=2 replays the same bytes",
+          failures);
+  }
+
+  std::printf(
+      "\ncluster-chaos-smoke: %s (dead=%u reforwarded=%llu quarantines=%llu "
+      "abandoned=%llu dup_dropped=%llu crc_rejects=%llu)\n",
+      failures == 0 ? "PASS" : "FAIL", first.stats.dead_chips,
+      static_cast<unsigned long long>(first.stats.reforwarded),
+      static_cast<unsigned long long>(first.stats.quarantines),
+      static_cast<unsigned long long>(first.stats.abandoned),
+      static_cast<unsigned long long>(first.stats.dup_dropped),
+      static_cast<unsigned long long>(first.stats.crc_rejects));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,6 +383,21 @@ int main(int argc, char** argv) {
     if (value_flag(arg, "--elink-outages", val)) { cc.elink_outages = std::stoul(val); continue; }
     if (value_flag(arg, "--elink-flips", val)) { cc.elink_flips = std::stoul(val); continue; }
     if (value_flag(arg, "--mem-flips", val)) { cc.mem_flips = std::stoul(val); continue; }
+    if (value_flag(arg, "--chips", val)) {
+      const auto x = val.find('x');
+      if (x == std::string::npos) {
+        std::fprintf(stderr, "epi_fault: --chips needs RxC (e.g. 2x2)\n");
+        return 2;
+      }
+      cc.chip_rows = static_cast<unsigned>(std::stoul(val.substr(0, x)));
+      cc.chip_cols = static_cast<unsigned>(std::stoul(val.substr(x + 1)));
+      continue;
+    }
+    if (value_flag(arg, "--chip-crashes", val)) { cc.chip_crashes = std::stoul(val); continue; }
+    if (value_flag(arg, "--chip-stalls", val)) { cc.chip_stalls = std::stoul(val); continue; }
+    if (value_flag(arg, "--xmesh", val)) { cc.xmesh_faults = std::stoul(val); continue; }
+    if (value_flag(arg, "--notice-drops", val)) { cc.notice_drops = std::stoul(val); continue; }
+    if (value_flag(arg, "--notice-flips", val)) { cc.notice_flips = std::stoul(val); continue; }
     if (value_flag(arg, "--horizon", val)) { cc.horizon = std::stoull(val); continue; }
     if (value_flag(arg, "--jobs", val)) { jobs = static_cast<unsigned>(std::stoul(val)); continue; }
     if (value_flag(arg, "--seed", val)) { traffic_seed = std::stoull(val); continue; }
@@ -269,7 +410,19 @@ int main(int argc, char** argv) {
 
   try {
     if (verb == "selftest") return selftest();
-    if (verb == "chaos-smoke") return chaos_smoke();
+    if (verb == "chaos-smoke") {
+      if (cc.chip_rows != 0 || cc.chip_cols != 0) {
+        if (cc.chip_rows == 0 || cc.chip_cols == 0 ||
+            cc.chip_rows * cc.chip_cols < 2) {
+          std::fprintf(stderr,
+                       "epi_fault: --chaos-smoke --chips needs a grid of at "
+                       "least 2 chips\n");
+          return 2;
+        }
+        return cluster_chaos_smoke(cc.chip_rows, cc.chip_cols);
+      }
+      return chaos_smoke();
+    }
     if (verb == "gen") {
       const std::string text = fault::save(fault::generate(cc));
       if (out_path.empty()) {

@@ -56,6 +56,15 @@
 //                        (default 0.25)
 //     --selftest         in cluster mode: rerun with 1, 2 and N workers and
 //                        fail unless all reports are byte-identical
+//     --plan=FILE        in cluster mode: a cluster fault plan (`chips RxC`
+//                        grammar) -- chip-crash/chip-stall/xmesh/notice
+//                        faults arm the failover stack (heartbeat watchdogs,
+//                        quarantine, re-forwarding with idempotent dedup);
+//                        chip-tagged machine faults go to that chip's
+//                        injector. Recovery decisions land in the report.
+//     --trace=FILE       in cluster mode: Perfetto trace with one process
+//                        per chip (per-chip sched.cluster.chipN.* counters
+//                        land on that chip's counter track)
 //
 // Generated streams mix matmul, stencil, DRAM-window offload, and the
 // epi-shmem cannon/transpose PGAS workloads (see src/sched/workload.hpp).
@@ -276,11 +285,10 @@ int verify_selftest() {
 /// The report is byte-identical for every worker count; --selftest proves it
 /// by rerunning with other counts and comparing bytes.
 int run_cluster(const Options& opt) {
-  if (!opt.spec_path.empty() || !opt.asm_files.empty() ||
-      !opt.plan_path.empty() || !opt.trace_path.empty()) {
+  if (!opt.spec_path.empty() || !opt.asm_files.empty()) {
     std::fprintf(stderr,
-                 "epi_serve: --spec/--asm/--plan/--trace are single-chip "
-                 "flags; cluster mode generates its own per-chip streams\n");
+                 "epi_serve: --spec/--asm are single-chip flags; cluster "
+                 "mode generates its own per-chip streams\n");
     return 2;
   }
   sched::ClusterConfig cc;
@@ -292,16 +300,34 @@ int run_cluster(const Options& opt) {
   cc.traffic.pipeline_frac = opt.pipelines;
   cc.sched.queue_capacity = opt.queue;
   cc.sched.lint = opt.lint;
-  if (opt.watchdog_set) cc.sched.watchdog_cycles = opt.watchdog;
+  // In cluster mode --plan carries the cluster grammar (`chips RxC` plus
+  // chip-scoped faults, see src/fault/plan.hpp); chip-tagged machine faults
+  // arm the per-job watchdog by default, same as single-chip plans do.
+  if (!opt.plan_path.empty()) cc.cluster_plan = fault::load_file(opt.plan_path);
+  if (opt.watchdog_set) {
+    cc.sched.watchdog_cycles = opt.watchdog;
+  } else if (!opt.plan_path.empty()) {
+    cc.sched.watchdog_cycles = 400'000;
+  }
   cc.remote_frac = opt.remote_frac;
+  cc.trace = !opt.trace_path.empty();
 
-  const auto serve = [&cc](unsigned workers, double* wall_ms) {
+  const auto serve = [&cc, &opt](unsigned workers, double* wall_ms) {
     sched::ClusterScheduler cs(cc);
     const auto t0 = std::chrono::steady_clock::now();
     cs.run(workers);
     const auto t1 = std::chrono::steady_clock::now();
     if (wall_ms != nullptr) {
       *wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      // Only the measured (first) run exports the trace.
+      if (cc.trace) {
+        std::ofstream os(opt.trace_path, std::ios::binary | std::ios::trunc);
+        if (!os) {
+          throw std::runtime_error("cannot write trace file: " +
+                                   opt.trace_path);
+        }
+        cs.write_trace(os);
+      }
     }
     return cs.report();
   };
